@@ -1,0 +1,21 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+Every benchmark runs at the ``quick`` scale by default (seconds per
+figure); set ``REPRO_SCALE=paper`` for the paper's problem sizes. The
+benchmark bodies print the regenerated rows/series so a run doubles as a
+report; assertions check the *shapes* the paper claims (who wins, where
+curves flatten, which counters drop).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run a regeneration function exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

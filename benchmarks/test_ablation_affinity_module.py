@@ -1,0 +1,64 @@
+"""Ablations of the affinity module's design choices (DESIGN.md §5).
+
+Each ablation disables one adaptation of Algorithm 1 and measures the
+LK23 benchmark; the full module must never lose to its ablated forms.
+"""
+
+from repro.apps.lk23 import Lk23Config, build_orwl_lk23
+from repro.experiments import current_scale
+from repro.orwl import Runtime
+from repro.topology import smp12e5
+
+
+def run_lk23_with_options(options, *, cores=64, seed=1):
+    scale = current_scale()
+    cfg = Lk23Config(
+        n=scale.lk23_n, iterations=scale.lk23_iterations, n_threads=cores
+    )
+    rt = Runtime(smp12e5(), affinity=True, seed=seed)
+    rt.affinity.options.update(options)
+    build_orwl_lk23(rt, cfg)
+    return rt.run()
+
+
+def test_ablation_hyperthread_sibling_reservation(regen):
+    """Without core-granularity mapping (compute threads bound to raw
+    PUs, siblings not reserved for control), the HT machine loses most
+    of its extra affinity gain."""
+
+    def run():
+        full = run_lk23_with_options({})
+        ablated = run_lk23_with_options({"hyperthread_aware": False})
+        return full, ablated
+
+    full, ablated = regen(run)
+    print(
+        f"\nHT-aware {full.seconds:.3f}s vs PU-granularity "
+        f"{ablated.seconds:.3f}s  ({ablated.seconds / full.seconds:.2f}x)"
+    )
+    assert full.placement.granularity == "core"
+    assert ablated.placement.granularity == "pu"
+    assert full.seconds <= ablated.seconds * 1.05
+
+
+def test_ablation_control_thread_extension(regen):
+    """Dropping line 1 of Algorithm 1 (control threads left to the OS)
+    must not beat the full module, and loses the zero-migration
+    property for control threads."""
+
+    def run():
+        full = run_lk23_with_options({})
+        ablated = run_lk23_with_options({"use_control_threads": False})
+        return full, ablated
+
+    full, ablated = regen(run)
+    print(
+        f"\nwith control mapping {full.seconds:.3f}s vs without "
+        f"{ablated.seconds:.3f}s"
+    )
+    assert full.placement.control_mode == "ht-sibling"
+    assert ablated.placement.control_mode == "os"
+    assert full.seconds <= ablated.seconds * 1.05
+    # Unmanaged control threads wander.
+    assert ablated.counters.cpu_migrations > 0
+    assert full.counters.cpu_migrations == 0

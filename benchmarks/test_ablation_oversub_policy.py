@@ -1,0 +1,73 @@
+"""Ablations: oversubscription handling and the OS scheduler policies.
+
+* The virtual-level oversubscription of Algorithm 1 must beat a naive
+  modulo assignment in communication cost.
+* Swapping the OS policies between the two machines reproduces why the
+  native curves differ: consolidate packs hyperthread siblings (bad for
+  compute), spread scatters communicating threads over all NUMA nodes.
+"""
+
+import numpy as np
+
+from repro.apps.lk23 import Lk23Config, run_orwl_lk23
+from repro.experiments import current_scale
+from repro.topology import fig2_machine, smp12e5
+from repro.treematch import CommunicationMatrix, Placement, treematch_map
+
+
+def ring(n, w=100.0):
+    m = np.zeros((n, n))
+    for i in range(n):
+        m[i, (i + 1) % n] = w
+    return CommunicationMatrix(m)
+
+
+def test_ablation_virtual_level_vs_modulo(regen):
+    def run():
+        topo = fig2_machine()  # 32 PUs
+        comm = ring(48)  # 1.5x oversubscribed
+        smart = treematch_map(topo, comm)
+        naive = Placement(
+            thread_to_pu={i: topo.pus[i % topo.n_pus].os_index for i in range(48)},
+            topology_name=topo.name,
+        )
+        return topo, comm, smart, naive
+
+    topo, comm, smart, naive = regen(run)
+    smart_cost = smart.cost(topo, comm)
+    naive_cost = naive.cost(topo, comm)
+    print(f"\noversubscribed ring: TreeMatch cost {smart_cost:.0f} vs "
+          f"modulo {naive_cost:.0f}")
+    assert smart.oversub_factor == 2
+    assert smart_cost < naive_cost
+
+
+def test_ablation_os_policy_swap(regen):
+    """Running the 12E5 workload under the other kernel's policy changes
+    the native behaviour — neither policy rescues the unbound runs."""
+    scale = current_scale()
+    cfg = Lk23Config(
+        n=scale.lk23_n, iterations=scale.lk23_iterations, n_threads=64
+    )
+
+    def run():
+        consolidate = run_orwl_lk23(
+            smp12e5(), cfg, affinity=False, seed=1
+        )
+        from repro.orwl import Runtime
+        from repro.apps.lk23 import build_orwl_lk23
+
+        rt = Runtime(smp12e5(), affinity=False, os_policy="spread", seed=1)
+        build_orwl_lk23(rt, cfg)
+        spread = rt.run()
+        affinity = run_orwl_lk23(smp12e5(), cfg, affinity=True, seed=1)
+        return consolidate, spread, affinity
+
+    consolidate, spread, affinity = regen(run)
+    print(
+        f"\nnative consolidate {consolidate.seconds:.3f}s, native spread "
+        f"{spread.seconds:.3f}s, affinity {affinity.seconds:.3f}s"
+    )
+    # The affinity module beats the native run under either OS policy.
+    assert affinity.seconds < consolidate.seconds
+    assert affinity.seconds < spread.seconds

@@ -1,0 +1,33 @@
+"""Fig. 1 — communication matrix of the video-tracking application."""
+
+import numpy as np
+
+from repro.experiments import fig1_comm_matrix
+from repro.experiments.figures import comm_matrix_ascii
+
+
+def test_fig1_comm_matrix(regen):
+    comm, fig = regen(fig1_comm_matrix)
+    print()
+    print(fig.title)
+    print(comm_matrix_ascii(comm, width=2))
+
+    assert comm.order == 30  # the 30 tasks of Figs. 1-2
+    aff = comm.affinity()
+
+    # The dominant visual features of Fig. 1:
+    # gmm (task 1) exchanges with all 16 split sub-tasks (rows/cols 10-25)
+    for i in range(10, 26):
+        assert aff[1, i] > 0
+    # ccl (task 7) with its 4 splits (26-29)
+    for i in range(26, 30):
+        assert aff[7, i] > 0
+    # the pipeline chain: producer→gmm→erode→dilate…→ccl→tracking→consumer
+    chain = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+    for a, b in zip(chain, chain[1:]):
+        assert aff[a, b] > 0, (a, b)
+    # splits do not talk to each other
+    assert aff[10:26, 10:26].sum() == 0
+    # matrix is symmetric and non-negative
+    assert np.allclose(aff, aff.T)
+    assert (aff >= 0).all()

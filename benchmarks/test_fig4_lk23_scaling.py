@@ -1,0 +1,64 @@
+"""Fig. 4 — LK23 processing times vs core count on both machines.
+
+Shape criteria from the paper:
+
+* all variants comparable within one socket (≤ 8 cores);
+* native ORWL and OpenMP stop scaling past ~16 cores (their curves
+  flatten: the NUMA hotspot / migration regime);
+* ORWL (affinity) keeps scaling to the full machine and ends several
+  times faster than every other variant;
+* the affinity gain is larger on the hyperthreaded machine.
+"""
+
+import pytest
+
+from repro.experiments import fig4_lk23, format_figure
+
+
+@pytest.mark.parametrize("machine", ["SMP12E5", "SMP20E7"])
+def test_fig4_lk23_scaling(regen, machine):
+    fig = regen(fig4_lk23, machine)
+    print()
+    print(format_figure(fig))
+
+    max_cores = fig.series[0].x[-1]
+    orwl = fig.series_by_label("ORWL")
+    orwl_aff = fig.series_by_label("ORWL (affinity)")
+    omp = fig.series_by_label("OpenMP")
+    omp_aff = fig.series_by_label("OpenMP (affinity)")
+
+    # ORWL(affinity) wins at full machine width, by a clear factor.
+    best_other = min(
+        s.value_at(max_cores) for s in (orwl, omp, omp_aff)
+    )
+    assert orwl_aff.value_at(max_cores) < best_other
+    assert orwl.value_at(max_cores) / orwl_aff.value_at(max_cores) > 1.5
+
+    # ORWL(affinity) scales: full machine clearly faster than 16 cores.
+    assert orwl_aff.value_at(max_cores) < orwl_aff.value_at(16) / 2
+
+    # OpenMP flattens: going from 32 cores to the full machine buys
+    # almost nothing (the single-node bandwidth plateau).
+    assert omp.value_at(max_cores) > 0.6 * omp.value_at(32)
+
+    # Within a socket everyone is in the same ballpark (≤ 3x spread).
+    at8 = [s.value_at(8) for s in fig.series]
+    assert max(at8) / min(at8) < 3.5
+
+
+def test_fig4_affinity_gain_larger_with_hyperthreading(regen):
+    def both():
+        return fig4_lk23("SMP12E5", cores=[64]), fig4_lk23("SMP20E7", cores=[64])
+
+    fig_ht, fig_noht = regen(both)
+
+    def gain(fig):
+        return (
+            fig.series_by_label("ORWL").value_at(64)
+            / fig.series_by_label("ORWL (affinity)").value_at(64)
+        )
+
+    g_ht, g_noht = gain(fig_ht), gain(fig_noht)
+    print(f"\naffinity gain at 64 cores: SMP12E5 (HT) {g_ht:.2f}x, "
+          f"SMP20E7 {g_noht:.2f}x")
+    assert g_ht > 1.0 and g_noht > 1.0

@@ -1,0 +1,42 @@
+"""Fig. 6 — video-tracking FPS on both 4-socket machine slices.
+
+Shape criteria: every parallel variant beats sequential; ORWL (affinity)
+is the fastest variant at every resolution; the ORWL affinity gain
+exceeds the OpenMP affinity gain; FPS decreases with resolution.
+"""
+
+import pytest
+
+from repro.experiments import fig6_video, format_figure
+
+
+@pytest.mark.parametrize("machine", ["SMP12E5-4S", "SMP20E7-4S"])
+def test_fig6_video_fps(regen, machine):
+    fig = regen(fig6_video, machine)
+    print()
+    print(format_figure(fig))
+
+    seq = fig.series_by_label("Sequential")
+    orwl = fig.series_by_label("ORWL")
+    orwl_aff = fig.series_by_label("ORWL (Affinity)")
+    omp = fig.series_by_label("OpenMP")
+    omp_aff = fig.series_by_label("OpenMP (Affinity)")
+
+    for res in fig.series[0].x:
+        # parallel variants beat sequential
+        for s in (orwl, orwl_aff, omp, omp_aff):
+            assert s.value_at(res) > seq.value_at(res), (s.label, res)
+        # ORWL(affinity) is the overall winner (paper Fig. 6)
+        others = (orwl, omp, omp_aff)
+        assert orwl_aff.value_at(res) >= max(o.value_at(res) for o in others), res
+
+    # FPS drops with growing resolution for every variant.
+    for s in fig.series:
+        assert s.value_at("HD") > s.value_at("FullHD") > s.value_at("4K"), s.label
+
+    # The ORWL affinity gain exceeds the OpenMP affinity gain (HD).
+    orwl_gain = orwl_aff.value_at("HD") / orwl.value_at("HD")
+    omp_gain = omp_aff.value_at("HD") / omp.value_at("HD")
+    print(f"HD affinity gains on {machine}: ORWL {orwl_gain:.2f}x, "
+          f"OpenMP {omp_gain:.2f}x")
+    assert orwl_gain > omp_gain

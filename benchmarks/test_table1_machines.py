@@ -1,0 +1,20 @@
+"""Table I — the two testbed descriptions."""
+
+from repro.experiments import format_table, table1_machines
+
+
+def test_table1_machines(regen):
+    rows = regen(table1_machines)
+    keys = list(rows[0].keys())
+    print()
+    print(format_table(keys, [[r[k] for k in keys] for r in rows],
+                       title="Table I: the multi-core architectures"))
+
+    by_name = {r["Name"]: r for r in rows}
+    assert by_name["SMP12E5"]["NUMA nodes"] == 12
+    assert by_name["SMP12E5"]["Hyper-Threading"] == "Yes"
+    assert by_name["SMP12E5"]["L3 cache"] == "20M"
+    assert by_name["SMP20E7"]["NUMA nodes"] == 20
+    assert by_name["SMP20E7"]["Hyper-Threading"] == "No"
+    assert by_name["SMP20E7"]["L3 cache"] == "24M"
+    assert "NUMAlink" in by_name["SMP12E5"]["Interconnect"]

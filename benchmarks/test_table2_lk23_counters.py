@@ -1,0 +1,35 @@
+"""Table II — LK23 hardware/software counters on SMP12E5 (64 cores).
+
+Paper signatures: the affinity run cuts L3 misses and stalled cycles by
+a substantial factor; CPU migrations drop to exactly 0 under binding;
+ORWL context-switches far exceed OpenMP's (control threads), without
+hurting its performance.
+"""
+
+from repro.experiments import table2_lk23_counters
+from repro.experiments.report import format_counter_rows
+
+
+def test_table2_lk23_counters(regen):
+    rows = regen(table2_lk23_counters)
+    print()
+    print(format_counter_rows(
+        "Table II: LK23 counters on SMP12E5 (64 cores)", rows))
+    by = {r.variant: r for r in rows}
+
+    # Affinity cuts misses and stalls for ORWL.
+    assert by["ORWL (Affinity)"].l3_misses < by["ORWL"].l3_misses
+    assert by["ORWL (Affinity)"].stalled_cycles < 0.7 * by["ORWL"].stalled_cycles
+
+    # Strict binding ⇒ zero migrations (both runtimes).
+    assert by["ORWL (Affinity)"].cpu_migrations == 0
+    assert by["OpenMP (Affinity)"].cpu_migrations == 0
+    # Native runs migrate.
+    assert by["ORWL"].cpu_migrations > 0
+    assert by["OpenMP"].cpu_migrations > 0
+
+    # ORWL's decentralized control threads context-switch far more than
+    # OpenMP's fork-join team...
+    assert by["ORWL"].context_switches > 2 * by["OpenMP (Affinity)"].context_switches
+    # ...yet ORWL (Affinity) is the fastest variant of the table.
+    assert by["ORWL (Affinity)"].seconds == min(r.seconds for r in rows)

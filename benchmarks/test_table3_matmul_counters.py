@@ -1,0 +1,36 @@
+"""Table III — matmul counters on SMP12E5 (64 cores).
+
+Paper signatures: ORWL(affinity) has by far the fewest L3 misses and
+stalls; MKL's binding variants do not reduce misses much; migrations are
+0 for every bound variant; ORWL context-switches dwarf MKL's.
+"""
+
+from repro.experiments import table3_matmul_counters
+from repro.experiments.report import format_counter_rows
+
+
+def test_table3_matmul_counters(regen):
+    rows = regen(table3_matmul_counters)
+    print()
+    print(format_counter_rows(
+        "Table III: matmul counters on SMP12E5 (64 cores)", rows))
+    by = {r.variant: r for r in rows}
+
+    # ORWL(affinity) minimizes misses and stalls across the whole table.
+    aff = by["ORWL (Affinity)"]
+    assert aff.l3_misses == min(r.l3_misses for r in rows)
+    assert aff.stalled_cycles == min(r.stalled_cycles for r in rows)
+    assert aff.l3_misses < 0.7 * by["ORWL"].l3_misses
+
+    # MKL binding barely moves its miss count (it cannot fix the data).
+    for lbl in ("MKL (Affinity scatter)", "MKL (Affinity compact)"):
+        assert by[lbl].l3_misses > 0.5 * by["MKL"].l3_misses
+
+    # Migrations: zero when bound, nonzero otherwise.
+    assert aff.cpu_migrations == 0
+    assert by["MKL (Affinity scatter)"].cpu_migrations == 0
+    assert by["MKL (Affinity compact)"].cpu_migrations == 0
+    assert by["ORWL"].cpu_migrations > 0
+
+    # ORWL context switches exceed MKL's.
+    assert by["ORWL"].context_switches > by["MKL"].context_switches

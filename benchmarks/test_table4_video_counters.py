@@ -1,0 +1,35 @@
+"""Table IV — video-tracking counters on SMP12E5 4-socket slice (HD).
+
+Paper signatures: affinity significantly decreases ORWL's L3 misses and
+stall cycles while the OpenMP affinity interfaces do not move theirs
+much; migrations are zero when bound; ORWL context-switches exceed
+OpenMP's.
+"""
+
+from repro.experiments import table4_video_counters
+from repro.experiments.report import format_counter_rows
+
+
+def test_table4_video_counters(regen):
+    rows = regen(table4_video_counters)
+    print()
+    print(format_counter_rows(
+        "Table IV: video tracking counters on SMP12E5-4S (30 tasks, HD)", rows))
+    by = {r.variant: r for r in rows}
+
+    # Affinity cuts ORWL's misses and stalls.
+    assert by["ORWL (Affinity)"].l3_misses < by["ORWL"].l3_misses
+    assert by["ORWL (Affinity)"].stalled_cycles < by["ORWL"].stalled_cycles
+
+    # OpenMP's affinity interface does not cut its misses much (< 40%).
+    assert (
+        by["OpenMP (Affinity)"].l3_misses > 0.6 * by["OpenMP"].l3_misses
+    )
+
+    # Migrations: 0 when bound, > 0 native.
+    assert by["ORWL (Affinity)"].cpu_migrations == 0
+    assert by["OpenMP (Affinity)"].cpu_migrations == 0
+    assert by["ORWL"].cpu_migrations > 0
+
+    # ORWL context-switch volume exceeds OpenMP's (control threads).
+    assert by["ORWL"].context_switches > by["OpenMP"].context_switches

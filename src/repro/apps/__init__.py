@@ -1,0 +1,16 @@
+"""The paper's three evaluation applications.
+
+* :mod:`repro.apps.lk23` — Livermore Kernel 23, a 2-D implicit
+  hydrodynamics stencil, pipelined over matrix blocks (memory bound);
+* :mod:`repro.apps.matmul` — block-cyclic dense matrix multiplication
+  (compute bound);
+* :mod:`repro.apps.video` — the HD video-tracking data-flow pipeline
+  (streaming, Fig. 3).
+
+Every app provides an ORWL implementation (which the affinity module
+optimizes *without any app change*), the OpenMP/MKL reference
+implementation, and — at small sizes — real data execution validated
+against a sequential reference.
+"""
+
+__all__ = ["lk23", "matmul", "video"]

@@ -1,0 +1,32 @@
+"""HD video tracking — the real-world streaming application (Sec. V-C).
+
+A synchronous data-flow pipeline (Fig. 3): producer → GMM
+foreground/background extraction (split 16) → erode → dilate ×4 →
+connected-component labeling (split 4) → tracking → consumer, expressed
+as 30 ORWL tasks (the ids of Figs. 1–2).
+
+The imaging substrate is real and tested: synthetic video generation
+(:mod:`frames`), Gaussian-mixture background subtraction (:mod:`gmm`),
+binary morphology (:mod:`morphology`), two-pass union-find labeling
+(:mod:`ccl`) and a centroid tracker (:mod:`tracking`). The camera feed
+the paper used is substituted by the deterministic synthetic generator
+(see DESIGN.md).
+"""
+
+from repro.apps.video.frames import FRAME_FORMATS, FrameSpec, VideoSource
+from repro.apps.video.pipeline import (
+    VideoConfig,
+    run_openmp_video,
+    run_orwl_video,
+    run_sequential_video,
+)
+
+__all__ = [
+    "FrameSpec",
+    "FRAME_FORMATS",
+    "VideoSource",
+    "VideoConfig",
+    "run_orwl_video",
+    "run_openmp_video",
+    "run_sequential_video",
+]

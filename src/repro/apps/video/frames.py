@@ -1,0 +1,127 @@
+"""Synthetic video: moving objects over a noisy static background.
+
+Substitutes the paper's camera feed (see DESIGN.md): deterministic,
+seedable, with a configurable number of rectangular objects moving on
+linear trajectories that bounce off the frame edges — easy for a tracker
+to follow, so tracking output is exactly checkable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.util.rng import make_rng
+
+__all__ = ["FrameSpec", "FRAME_FORMATS", "MovingObject", "VideoSource"]
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """Frame geometry; one byte per pixel (grayscale)."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 8 or self.height < 8:
+            raise ReproError("frames must be at least 8x8")
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def nbytes(self) -> int:
+        return self.pixels  # uint8
+
+
+#: The three resolutions of Fig. 6.
+FRAME_FORMATS: dict[str, FrameSpec] = {
+    "HD": FrameSpec(1280, 720),
+    "FullHD": FrameSpec(1920, 1080),
+    "4K": FrameSpec(3840, 2160),
+}
+
+
+@dataclass
+class MovingObject:
+    """A bright rectangle on a linear, edge-bouncing trajectory."""
+
+    x: float
+    y: float
+    vx: float
+    vy: float
+    w: int
+    h: int
+    intensity: int
+
+    def step(self, spec: FrameSpec) -> None:
+        self.x += self.vx
+        self.y += self.vy
+        if not 0 <= self.x <= spec.width - self.w:
+            self.vx = -self.vx
+            self.x = min(max(self.x, 0), spec.width - self.w)
+        if not 0 <= self.y <= spec.height - self.h:
+            self.vy = -self.vy
+            self.y = min(max(self.y, 0), spec.height - self.h)
+
+    def paint(self, frame: np.ndarray) -> None:
+        x, y = int(self.x), int(self.y)
+        frame[y : y + self.h, x : x + self.w] = self.intensity
+
+
+class VideoSource:
+    """Deterministic frame generator."""
+
+    def __init__(
+        self,
+        spec: FrameSpec,
+        *,
+        n_objects: int = 3,
+        noise: float = 2.0,
+        background: int = 60,
+        seed: int = 0,
+    ) -> None:
+        if n_objects < 0:
+            raise ReproError("n_objects must be >= 0")
+        self.spec = spec
+        self.noise = float(noise)
+        self.background = int(background)
+        rng = make_rng(seed)
+        self._rng = rng
+        self.objects: list[MovingObject] = []
+        for _ in range(n_objects):
+            w = int(rng.integers(spec.width // 16, spec.width // 8 + 1))
+            h = int(rng.integers(spec.height // 16, spec.height // 8 + 1))
+            self.objects.append(
+                MovingObject(
+                    x=float(rng.integers(0, max(1, spec.width - w))),
+                    y=float(rng.integers(0, max(1, spec.height - h))),
+                    vx=float(rng.uniform(1.0, 3.0)) * (1 if rng.random() < 0.5 else -1),
+                    vy=float(rng.uniform(1.0, 3.0)) * (1 if rng.random() < 0.5 else -1),
+                    w=w,
+                    h=h,
+                    intensity=int(rng.integers(180, 250)),
+                )
+            )
+        self.frame_index = 0
+
+    def next_frame(self) -> np.ndarray:
+        """The next uint8 frame; objects advance one step per call."""
+        spec = self.spec
+        frame = np.full((spec.height, spec.width), self.background, dtype=np.float64)
+        if self.noise > 0:
+            frame += self._rng.normal(0.0, self.noise, frame.shape)
+        for obj in self.objects:
+            obj.step(spec)
+            obj.paint(frame)
+        self.frame_index += 1
+        return np.clip(frame, 0, 255).astype(np.uint8)
+
+    def frames(self, count: int):
+        """Yield *count* consecutive frames."""
+        for _ in range(count):
+            yield self.next_frame()

@@ -1,0 +1,53 @@
+"""Binary morphology: 3×3 erode / dilate on boolean masks.
+
+Implemented with shifted views (no scipy dependency): a pixel survives an
+erosion iff its whole 3×3 neighbourhood is set; dilation is the dual.
+Border pixels use zero padding, the usual convention for foreground
+masks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["erode3", "dilate3", "MORPH_FLOPS_PER_PIXEL"]
+
+#: Bitwise neighbourhood ops vectorize to ~2 effective flops per pixel;
+#: morphology is a memory-bound streaming stage.
+MORPH_FLOPS_PER_PIXEL = 2.0
+
+
+def _check(mask: np.ndarray) -> np.ndarray:
+    if mask.ndim != 2:
+        raise ReproError(f"mask must be 2-D, got {mask.ndim}-D")
+    return mask.astype(bool, copy=False)
+
+
+def _padded(mask: np.ndarray, fill: bool) -> np.ndarray:
+    out = np.full(
+        (mask.shape[0] + 2, mask.shape[1] + 2), fill, dtype=bool
+    )
+    out[1:-1, 1:-1] = mask
+    return out
+
+
+def erode3(mask: np.ndarray) -> np.ndarray:
+    """3×3 erosion with zero padding (border pixels erode away)."""
+    m = _padded(_check(mask), False)
+    out = np.ones(mask.shape, dtype=bool)
+    for dy in (0, 1, 2):
+        for dx in (0, 1, 2):
+            out &= m[dy : dy + mask.shape[0], dx : dx + mask.shape[1]]
+    return out
+
+
+def dilate3(mask: np.ndarray) -> np.ndarray:
+    """3×3 dilation with zero padding."""
+    m = _padded(_check(mask), False)
+    out = np.zeros(mask.shape, dtype=bool)
+    for dy in (0, 1, 2):
+        for dx in (0, 1, 2):
+            out |= m[dy : dy + mask.shape[0], dx : dx + mask.shape[1]]
+    return out

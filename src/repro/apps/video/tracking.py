@@ -1,0 +1,91 @@
+"""Centroid tracker: follow components across frames.
+
+Greedy nearest-centroid matching with a maximum jump distance; unmatched
+components open new tracks, unmatched tracks survive ``max_missed``
+frames before being closed. Deterministic (matching processed in
+component order), so pipeline runs are exactly comparable to sequential
+reference runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.video.ccl import Component
+from repro.errors import ReproError
+
+__all__ = ["Track", "CentroidTracker", "TRACK_FLOPS_PER_COMPONENT"]
+
+TRACK_FLOPS_PER_COMPONENT = 200.0
+
+
+@dataclass
+class Track:
+    """One tracked object."""
+
+    track_id: int
+    centroid: tuple[float, float]
+    area: int
+    age: int = 1
+    missed: int = 0
+    history: list[tuple[float, float]] = field(default_factory=list)
+
+    def advance(self, comp: Component) -> None:
+        self.history.append(self.centroid)
+        self.centroid = comp.centroid
+        self.area = comp.area
+        self.age += 1
+        self.missed = 0
+
+
+class CentroidTracker:
+    """Stateful frame-to-frame matcher."""
+
+    def __init__(
+        self,
+        *,
+        max_distance: float = 80.0,
+        max_missed: int = 5,
+        min_area: int = 4,
+    ) -> None:
+        if max_distance <= 0:
+            raise ReproError("max_distance must be positive")
+        self.max_distance = max_distance
+        self.max_missed = max_missed
+        self.min_area = min_area
+        self.tracks: list[Track] = []
+        self._next_id = 1
+
+    def update(self, components: list[Component]) -> list[Track]:
+        """Consume one frame's components; returns the live tracks."""
+        cands = [c for c in components if c.area >= self.min_area]
+        unmatched_tracks = list(self.tracks)
+        for comp in cands:
+            best: Track | None = None
+            best_d2 = self.max_distance**2
+            for tr in unmatched_tracks:
+                d2 = (tr.centroid[0] - comp.centroid[0]) ** 2 + (
+                    tr.centroid[1] - comp.centroid[1]
+                ) ** 2
+                if d2 <= best_d2:
+                    best, best_d2 = tr, d2
+            if best is not None:
+                best.advance(comp)
+                unmatched_tracks.remove(best)
+            else:
+                self.tracks.append(
+                    Track(
+                        track_id=self._next_id,
+                        centroid=comp.centroid,
+                        area=comp.area,
+                    )
+                )
+                self._next_id += 1
+        for tr in unmatched_tracks:
+            tr.missed += 1
+        self.tracks = [t for t in self.tracks if t.missed <= self.max_missed]
+        return list(self.tracks)
+
+    def summary(self) -> list[tuple[int, tuple[float, float], int]]:
+        """Comparable state snapshot: (id, centroid, age) per live track."""
+        return [(t.track_id, t.centroid, t.age) for t in self.tracks]

@@ -1,0 +1,171 @@
+"""Command-line interface: inspect machines, regenerate experiments.
+
+Installed as ``repro-paper`` (see pyproject.toml)::
+
+    repro-paper machines                     # list machine presets
+    repro-paper topology SMP12E5             # lstopo-style dump
+    repro-paper fig 4 --machine SMP20E7      # regenerate a figure
+    repro-paper table 2                      # regenerate a table
+    repro-paper comm-matrix                  # Fig. 1 ASCII rendering
+    repro-paper allocation                   # Fig. 2 placement
+
+Scale selection follows ``REPRO_SCALE`` (quick | paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper",
+        description=(
+            "Reproduction harness for 'Automatic, Abstracted and Portable "
+            "Topology-Aware Thread Placement' (IEEE CLUSTER 2017)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list machine presets")
+
+    p_topo = sub.add_parser("topology", help="print a machine's topology tree")
+    p_topo.add_argument("machine", help="preset name, e.g. SMP12E5")
+    p_topo.add_argument("--depth", type=int, default=None,
+                        help="limit the printed depth")
+
+    p_fig = sub.add_parser("fig", help="regenerate a figure (1, 2, 4, 5, 6)")
+    p_fig.add_argument("number", type=int, choices=(1, 2, 4, 5, 6))
+    p_fig.add_argument("--machine", default=None,
+                       help="machine preset (figures 4-6)")
+
+    p_tab = sub.add_parser("table", help="regenerate a table (1, 2, 3, 4)")
+    p_tab.add_argument("number", type=int, choices=(1, 2, 3, 4))
+
+    sub.add_parser("comm-matrix", help="Fig. 1 communication matrix (ASCII)")
+    sub.add_parser("allocation", help="Fig. 2 task allocation")
+    sub.add_parser("dfg", help="Fig. 3 data-flow graph of the video app (DOT)")
+    return parser
+
+
+def _cmd_machines() -> str:
+    from repro.topology import list_machines, machine_by_name
+
+    lines = []
+    for name in list_machines():
+        topo = machine_by_name(name)
+        ht = "HT" if topo.has_hyperthreading else "no-HT"
+        lines.append(
+            f"{name:<12} {len(topo.numa_nodes):>3} NUMA x "
+            f"{topo.n_cores // max(1, len(topo.numa_nodes)):>2} cores "
+            f"({topo.n_pus} PUs, {ht})"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_topology(machine: str, depth: int | None) -> str:
+    from repro.topology import machine_by_name, render_ascii
+
+    return render_ascii(machine_by_name(machine), max_depth=depth)
+
+
+def _cmd_fig(number: int, machine: str | None) -> str:
+    from repro.experiments import (
+        fig1_comm_matrix,
+        fig2_allocation,
+        fig4_lk23,
+        fig5_matmul,
+        fig6_video,
+        format_figure,
+    )
+    from repro.experiments.figures import comm_matrix_ascii
+
+    if number == 1:
+        comm, fig = fig1_comm_matrix()
+        return f"{fig.title}\n" + comm_matrix_ascii(comm)
+    if number == 2:
+        text, info = fig2_allocation()
+        return text + f"\nreserved for control: PUs {info['reserved_pus']}"
+    if number == 4:
+        return format_figure(fig4_lk23(machine or "SMP12E5"))
+    if number == 5:
+        return format_figure(fig5_matmul(machine or "SMP12E5"))
+    return format_figure(fig6_video(machine or "SMP12E5-4S"))
+
+
+def _cmd_table(number: int) -> str:
+    from repro.experiments import (
+        format_table,
+        table1_machines,
+        table2_lk23_counters,
+        table3_matmul_counters,
+        table4_video_counters,
+    )
+    from repro.experiments.report import format_counter_rows
+
+    if number == 1:
+        rows = table1_machines()
+        keys = list(rows[0].keys())
+        return format_table(keys, [[r[k] for k in keys] for r in rows],
+                            title="Table I")
+    if number == 2:
+        return format_counter_rows(
+            "Table II: LK23 counters (SMP12E5, 64 cores)",
+            table2_lk23_counters(),
+        )
+    if number == 3:
+        return format_counter_rows(
+            "Table III: matmul counters (SMP12E5, 64 cores)",
+            table3_matmul_counters(),
+        )
+    return format_counter_rows(
+        "Table IV: video counters (SMP12E5-4S, HD)",
+        table4_video_counters(),
+    )
+
+
+def _cmd_dfg() -> str:
+    from repro.apps.video import VideoConfig
+    from repro.apps.video.pipeline import build_orwl_video
+    from repro.orwl import Runtime
+    from repro.orwl.graph import to_dot
+    from repro.topology import smp20e7_4s
+
+    rt = Runtime(smp20e7_4s(), affinity=False)
+    build_orwl_video(rt, VideoConfig(resolution="HD", frames=1))
+    return to_dot(rt, name="video-tracking")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "machines":
+            out = _cmd_machines()
+        elif args.command == "topology":
+            out = _cmd_topology(args.machine, args.depth)
+        elif args.command == "fig":
+            out = _cmd_fig(args.number, args.machine)
+        elif args.command == "table":
+            out = _cmd_table(args.number)
+        elif args.command == "comm-matrix":
+            out = _cmd_fig(1, None)
+        elif args.command == "allocation":
+            out = _cmd_fig(2, None)
+        elif args.command == "dfg":
+            out = _cmd_dfg()
+        else:  # pragma: no cover - argparse enforces choices
+            raise ReproError(f"unknown command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

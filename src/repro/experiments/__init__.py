@@ -1,0 +1,49 @@
+"""Experiment harness: one entry point per table and figure of the paper.
+
+* :mod:`repro.experiments.figures` — Fig. 1 (communication matrix),
+  Fig. 2 (task allocation), Fig. 4 (LK23 scaling), Fig. 5 (matmul
+  GFLOP/s), Fig. 6 (video FPS);
+* :mod:`repro.experiments.tables` — Table I (machines) and the counter
+  Tables II–IV;
+* :mod:`repro.experiments.runner` — problem-scale selection
+  (``REPRO_SCALE=quick|paper``) and shared run plumbing;
+* :mod:`repro.experiments.report` — plain-text rendering of results.
+
+Benchmarks under ``benchmarks/`` call these and assert the paper's
+qualitative shapes; EXPERIMENTS.md records paper-vs-measured numbers.
+"""
+
+from repro.experiments.figures import (
+    fig1_comm_matrix,
+    fig2_allocation,
+    fig4_lk23,
+    fig5_matmul,
+    fig6_video,
+)
+from repro.experiments.report import format_figure, format_table
+from repro.experiments.runner import PAPER, QUICK, TINY, Scale, current_scale
+from repro.experiments.tables import (
+    table1_machines,
+    table2_lk23_counters,
+    table3_matmul_counters,
+    table4_video_counters,
+)
+
+__all__ = [
+    "Scale",
+    "TINY",
+    "QUICK",
+    "PAPER",
+    "current_scale",
+    "fig1_comm_matrix",
+    "fig2_allocation",
+    "fig4_lk23",
+    "fig5_matmul",
+    "fig6_video",
+    "table1_machines",
+    "table2_lk23_counters",
+    "table3_matmul_counters",
+    "table4_video_counters",
+    "format_figure",
+    "format_table",
+]

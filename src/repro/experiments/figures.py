@@ -1,0 +1,301 @@
+"""Regeneration of every figure of the paper's evaluation section."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.lk23 import Lk23Config, run_openmp_lk23, run_orwl_lk23
+from repro.apps.matmul import MatmulConfig, run_orwl_matmul
+from repro.apps.video import (
+    VideoConfig,
+    run_openmp_video,
+    run_orwl_video,
+    run_sequential_video,
+)
+from repro.apps.video.pipeline import build_orwl_video
+from repro.errors import ReproError
+from repro.experiments.runner import FigureResult, Scale, Series, current_scale
+from repro.openmp.mkl import threaded_dgemm
+from repro.orwl.runtime import Runtime
+from repro.topology import (
+    fig2_machine,
+    machine_by_name,
+    render_mapping,
+    smp12e5_4s,
+    smp20e7_4s,
+)
+from repro.treematch import CommunicationMatrix, treematch_map
+
+__all__ = [
+    "fig1_comm_matrix",
+    "fig2_allocation",
+    "fig4_lk23",
+    "fig5_matmul",
+    "fig6_video",
+    "FIG4_CORES",
+    "FIG5_CORES",
+]
+
+#: x-axes of Figs. 4 and 5 as printed in the paper.
+FIG4_CORES = {"SMP12E5": [1, 8, 16, 32, 64, 96], "SMP20E7": [1, 8, 16, 32, 64, 128]}
+FIG5_CORES = {
+    "SMP12E5": [1, 2, 4, 8, 16, 32, 64, 96],
+    "SMP20E7": [1, 2, 4, 8, 16, 32, 64, 96, 160],
+}
+
+
+# -- Fig. 1: communication matrix of the video-tracking application ------------------
+
+
+def fig1_comm_matrix(cfg: VideoConfig | None = None) -> tuple[CommunicationMatrix, FigureResult]:
+    """The 30×30 operation communication matrix (Fig. 1).
+
+    Built purely from the declared task/location graph — no simulation
+    runs, exactly as ``orwl_dependency_get`` at schedule time.
+    """
+    cfg = cfg or VideoConfig(resolution="HD", frames=1)
+    runtime = Runtime(smp20e7_4s(), affinity=False)
+    build_orwl_video(runtime, cfg)
+    runtime.schedule()
+    comm = runtime.dependency_get()
+    fig = FigureResult(
+        fig_id="fig1",
+        title="Communication matrix of the video tracking application",
+        xlabel="Task ID",
+        ylabel="Task ID",
+        meta={"order": comm.order, "labels": comm.labels},
+    )
+    return comm, fig
+
+
+# -- Fig. 2: task allocation on the 4-socket 32-core machine --------------------------
+
+
+def fig2_allocation(cfg: VideoConfig | None = None) -> tuple[str, dict]:
+    """The Fig. 2 placement: video DFG mapped by Algorithm 1.
+
+    Returns the rendered allocation and the raw placement info (including
+    the spare cores reserved for control threads, cf. cores 22–23).
+    """
+    cfg = cfg or VideoConfig(resolution="HD", frames=1)
+    topo = fig2_machine()
+    runtime = Runtime(topo, affinity=False)
+    build_orwl_video(runtime, cfg)
+    runtime.schedule()
+    comm = runtime.dependency_get()
+    placement = treematch_map(
+        topo,
+        comm,
+        n_control=len(runtime.locations),
+        control_owners=[loc.owner.op_id for loc in runtime.locations],
+    )
+    text = render_mapping(
+        topo,
+        placement.thread_to_pu,
+        {i: lab for i, lab in enumerate(comm.labels)},
+        reserved={pu: "control" for pu in placement.reserved_pus},
+    )
+    return text, {
+        "placement": placement,
+        "comm": comm,
+        "reserved_pus": placement.reserved_pus,
+    }
+
+
+# -- Fig. 4: LK23 processing times --------------------------------------------------------
+
+
+def fig4_lk23(
+    machine_name: str = "SMP12E5",
+    *,
+    scale: Scale | None = None,
+    cores: list[int] | None = None,
+    seed: int = 1,
+) -> FigureResult:
+    """Processing times of Livermore Kernel 23 (Fig. 4a/4b)."""
+    scale = scale or current_scale()
+    if cores is None:
+        try:
+            cores = FIG4_CORES[machine_name.upper()]
+        except KeyError:
+            raise ReproError(f"no Fig. 4 core list for {machine_name!r}") from None
+    variants = {
+        "ORWL": lambda topo, cfg: run_orwl_lk23(topo, cfg, affinity=False, seed=seed),
+        "ORWL (affinity)": lambda topo, cfg: run_orwl_lk23(
+            topo, cfg, affinity=True, seed=seed
+        ),
+        "OpenMP": lambda topo, cfg: run_openmp_lk23(
+            topo, cfg, binding=None, seed=seed
+        ),
+        "OpenMP (affinity)": lambda topo, cfg: run_openmp_lk23(
+            topo, cfg, binding="close", seed=seed
+        ),
+    }
+    fig = FigureResult(
+        fig_id="fig4",
+        title=f"LK23 processing times on {machine_name}",
+        xlabel="Nb Cores",
+        ylabel="Time (s)",
+        meta={"machine": machine_name, "scale": scale.name},
+    )
+    for label, run in variants.items():
+        ys = []
+        for nc in cores:
+            cfg = Lk23Config(
+                n=scale.lk23_n, iterations=scale.lk23_iterations, n_threads=nc
+            )
+            topo = machine_by_name(machine_name)
+            ys.append(run(topo, cfg).seconds)
+        fig.series.append(Series(label, list(cores), ys))
+    return fig
+
+
+# -- Fig. 5: matmul GFLOP/s -----------------------------------------------------------------
+
+
+def fig5_matmul(
+    machine_name: str = "SMP12E5",
+    *,
+    scale: Scale | None = None,
+    cores: list[int] | None = None,
+    seed: int = 1,
+) -> FigureResult:
+    """FLOP/s of the matrix-multiplication implementations (Fig. 5)."""
+    scale = scale or current_scale()
+    if cores is None:
+        try:
+            cores = FIG5_CORES[machine_name.upper()]
+        except KeyError:
+            raise ReproError(f"no Fig. 5 core list for {machine_name!r}") from None
+    n = scale.matmul_n
+
+    def orwl(affinity):
+        def run(nc):
+            topo = machine_by_name(machine_name)
+            return run_orwl_matmul(
+                topo, MatmulConfig(n=n, n_tasks=nc), affinity=affinity, seed=seed
+            ).gflops
+
+        return run
+
+    def mkl(binding):
+        def run(nc):
+            topo = machine_by_name(machine_name)
+            return threaded_dgemm(topo, n, nc, binding=binding, seed=seed).gflops
+
+        return run
+
+    variants = {
+        "ORWL": orwl(False),
+        "ORWL (Affinity)": orwl(True),
+        "MKL": mkl(None),
+        "MKL (scatter)": mkl("scatter"),
+        "MKL (compact)": mkl("compact"),
+    }
+    fig = FigureResult(
+        fig_id="fig5",
+        title=f"Matmul GFLOP/s on {machine_name}",
+        xlabel="Nb Cores",
+        ylabel="GFLOPS",
+        meta={"machine": machine_name, "scale": scale.name, "n": n},
+    )
+    for label, run in variants.items():
+        fig.series.append(Series(label, list(cores), [run(nc) for nc in cores]))
+    return fig
+
+
+# -- Fig. 6: video tracking FPS ----------------------------------------------------------------
+
+
+def fig6_video(
+    machine_name: str = "SMP12E5-4S",
+    *,
+    scale: Scale | None = None,
+    resolutions: list[str] | None = None,
+    seed: int = 1,
+) -> FigureResult:
+    """Frames per second of the video-tracking variants (Fig. 6)."""
+    scale = scale or current_scale()
+    resolutions = resolutions or ["HD", "FullHD", "4K"]
+    if machine_name.upper() not in ("SMP12E5-4S", "SMP20E7-4S"):
+        raise ReproError(
+            "Fig. 6 uses the 4-socket machine slices "
+            "(SMP12E5-4S / SMP20E7-4S)"
+        )
+    topo_fn = smp12e5_4s if "12E5" in machine_name.upper() else smp20e7_4s
+
+    def frames_for(res: str) -> int:
+        return scale.video_frames_4k if res == "4K" else scale.video_frames
+
+    def cfg_for(res: str) -> VideoConfig:
+        return VideoConfig(resolution=res, frames=frames_for(res))
+
+    def fps(seconds: float, res: str) -> float:
+        return frames_for(res) / seconds if seconds > 0 else 0.0
+
+    variants = {
+        "Sequential": lambda res: fps(
+            run_sequential_video(topo_fn(), cfg_for(res), seed=seed).seconds, res
+        ),
+        "OpenMP": lambda res: fps(
+            run_openmp_video(
+                topo_fn(), cfg_for(res), 30, binding=None, seed=seed
+            ).seconds,
+            res,
+        ),
+        "OpenMP (Affinity)": lambda res: fps(
+            run_openmp_video(
+                topo_fn(), cfg_for(res), 30, binding="close", seed=seed
+            ).seconds,
+            res,
+        ),
+        "ORWL": lambda res: fps(
+            run_orwl_video(topo_fn(), cfg_for(res), affinity=False, seed=seed)[
+                0
+            ].seconds,
+            res,
+        ),
+        "ORWL (Affinity)": lambda res: fps(
+            run_orwl_video(topo_fn(), cfg_for(res), affinity=True, seed=seed)[
+                0
+            ].seconds,
+            res,
+        ),
+    }
+    fig = FigureResult(
+        fig_id="fig6",
+        title=f"Video tracking FPS on {machine_name}",
+        xlabel="Resolution",
+        ylabel="Frames per second",
+        meta={"machine": machine_name, "scale": scale.name, "n_tasks": 30},
+    )
+    for label, run in variants.items():
+        fig.series.append(
+            Series(label, list(resolutions), [run(r) for r in resolutions])
+        )
+    return fig
+
+
+def comm_matrix_ascii(comm: CommunicationMatrix, *, width: int = 2) -> str:
+    """Log-gray-scale ASCII rendering of a communication matrix (Fig. 1)."""
+    aff = comm.affinity()
+    chars = " .:-=+*#%@"
+    with np.errstate(divide="ignore"):
+        logs = np.where(aff > 0, np.log10(aff), -np.inf)
+    finite = logs[np.isfinite(logs)]
+    lines = []
+    if finite.size == 0:
+        lo = hi = 0.0
+    else:
+        lo, hi = float(finite.min()), float(finite.max())
+    span = (hi - lo) or 1.0
+    for i in range(comm.order):
+        row = []
+        for j in range(comm.order):
+            if not np.isfinite(logs[i, j]):
+                row.append(chars[0] * width)
+            else:
+                level = int((logs[i, j] - lo) / span * (len(chars) - 1))
+                row.append(chars[level] * width)
+        lines.append("".join(row))
+    return "\n".join(lines)

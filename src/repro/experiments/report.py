@@ -1,0 +1,73 @@
+"""Plain-text rendering of regenerated figures and tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.runner import FigureResult
+from repro.experiments.tables import CounterRow
+
+__all__ = ["format_figure", "format_table", "format_counter_rows"]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3g}"
+        return f"{v:,.2f}"
+    return str(v)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, title: str = ""
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_figure(fig: FigureResult) -> str:
+    """A figure as a table: one x column plus one column per series."""
+    headers = [fig.xlabel] + [s.label for s in fig.series]
+    xs = fig.series[0].x if fig.series else []
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [s.y[i] for s in fig.series])
+    return format_table(headers, rows, title=f"{fig.fig_id}: {fig.title} [{fig.ylabel}]")
+
+
+def format_counter_rows(title: str, rows: Sequence[CounterRow]) -> str:
+    """Tables II-IV style counter rendering."""
+    headers = [
+        "Variant",
+        "L3 misses",
+        "Stalled cycles",
+        "Context switches",
+        "CPU migrations",
+        "Time (s)",
+    ]
+    body = [
+        [
+            r.variant,
+            r.l3_misses,
+            r.stalled_cycles,
+            r.context_switches,
+            r.cpu_migrations,
+            r.seconds,
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body, title=title)

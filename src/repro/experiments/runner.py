@@ -1,0 +1,110 @@
+"""Shared experiment plumbing: problem scales and result containers.
+
+The paper's problem sizes (16384² matrices, 100 iterations) simulate in
+minutes; the default ``quick`` scale reproduces every qualitative shape
+in seconds. Select with ``REPRO_SCALE=paper`` or by passing a
+:class:`Scale` explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Scale",
+    "TINY",
+    "QUICK",
+    "PAPER",
+    "current_scale",
+    "Series",
+    "FigureResult",
+]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Problem sizes for the three applications."""
+
+    name: str
+    lk23_n: int
+    lk23_iterations: int
+    matmul_n: int
+    video_frames: int
+    video_frames_4k: int
+
+    def __post_init__(self) -> None:
+        if min(
+            self.lk23_n,
+            self.lk23_iterations,
+            self.matmul_n,
+            self.video_frames,
+            self.video_frames_4k,
+        ) < 1:
+            raise ReproError("scale parameters must be >= 1")
+
+
+#: Smoke-test scale (seconds for the whole harness; shapes may be noisy).
+TINY = Scale("tiny", lk23_n=512, lk23_iterations=2, matmul_n=1024,
+             video_frames=3, video_frames_4k=2)
+#: Fast shape-preserving scale (default; CI-friendly).
+QUICK = Scale("quick", lk23_n=4096, lk23_iterations=10, matmul_n=4096,
+              video_frames=30, video_frames_4k=10)
+#: The paper's published problem sizes.
+PAPER = Scale("paper", lk23_n=16384, lk23_iterations=100, matmul_n=16384,
+              video_frames=100, video_frames_4k=50)
+
+_SCALES = {s.name: s for s in (TINY, QUICK, PAPER)}
+
+
+def current_scale() -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (default: quick)."""
+    name = os.environ.get("REPRO_SCALE", "quick")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown REPRO_SCALE {name!r}; known: {sorted(_SCALES)}"
+        ) from None
+
+
+@dataclass
+class Series:
+    """One plotted line: label + x/y value lists."""
+
+    label: str
+    x: list
+    y: list
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ReproError(f"series {self.label!r}: x/y length mismatch")
+
+    def value_at(self, x):
+        try:
+            return self.y[self.x.index(x)]
+        except ValueError:
+            raise ReproError(f"series {self.label!r} has no point at {x!r}") from None
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: series plus identification metadata."""
+
+    fig_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise ReproError(
+            f"{self.fig_id}: no series {label!r}; have "
+            f"{[s.label for s in self.series]}"
+        )

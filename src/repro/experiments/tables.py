@@ -1,0 +1,157 @@
+"""Regeneration of Tables I–IV."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.lk23 import Lk23Config, run_openmp_lk23, run_orwl_lk23
+from repro.apps.matmul import MatmulConfig, run_orwl_matmul
+from repro.apps.video import VideoConfig, run_openmp_video, run_orwl_video
+from repro.experiments.runner import Scale, current_scale
+from repro.openmp.mkl import threaded_dgemm
+from repro.topology import machine_by_name, smp12e5_4s
+from repro.topology.objects import ObjType
+from repro.util.units import format_size
+
+__all__ = [
+    "CounterRow",
+    "table1_machines",
+    "table2_lk23_counters",
+    "table3_matmul_counters",
+    "table4_video_counters",
+]
+
+
+@dataclass
+class CounterRow:
+    """One variant's counters, in the units of Tables II–IV."""
+
+    variant: str
+    l3_misses: float
+    stalled_cycles: float
+    context_switches: int
+    cpu_migrations: int
+    seconds: float
+
+    @classmethod
+    def from_counters(cls, variant, counters, seconds) -> "CounterRow":
+        return cls(
+            variant=variant,
+            l3_misses=counters.l3_misses,
+            stalled_cycles=counters.stalled_cycles,
+            context_switches=counters.context_switches,
+            cpu_migrations=counters.cpu_migrations,
+            seconds=seconds,
+        )
+
+
+# -- Table I ------------------------------------------------------------------------
+
+
+def table1_machines() -> list[dict]:
+    """The two testbed descriptions (Table I), read off the presets."""
+    rows = []
+    for name in ("SMP12E5", "SMP20E7"):
+        topo = machine_by_name(name)
+        l1 = topo.objects_by_type(ObjType.L1)[0]
+        l2 = topo.objects_by_type(ObjType.L2)[0]
+        l3 = topo.objects_by_type(ObjType.L3)[0]
+        spec = topo.spec  # type: ignore[attr-defined]
+        rows.append(
+            {
+                "Name": name,
+                "OS": topo.root.attrs.get("os", ""),
+                "Kernel": topo.root.attrs.get("kernel", ""),
+                "Cores per socket": spec.cores_per_socket,
+                "NUMA nodes": len(topo.numa_nodes),
+                "Socket": topo.root.attrs.get("socket_model", ""),
+                "Clock rate": f"{topo.root.attrs['clock_hz'] / 1e6:.0f}MHz",
+                "Hyper-Threading": "Yes" if topo.has_hyperthreading else "No",
+                "L1 cache": format_size(l1.cache.size),
+                "L2 cache": format_size(l2.cache.size),
+                "L3 cache": format_size(l3.cache.size),
+                "Interconnect": (
+                    f"{topo.root.attrs.get('interconnect', '')} "
+                    f"({spec.interconnect_gbps}GB/s)"
+                ),
+            }
+        )
+    return rows
+
+
+# -- Table II: LK23 counters on SMP12E5, 64 cores --------------------------------------
+
+
+def table2_lk23_counters(
+    *,
+    machine_name: str = "SMP12E5",
+    cores: int = 64,
+    scale: Scale | None = None,
+    seed: int = 1,
+) -> list[CounterRow]:
+    scale = scale or current_scale()
+    cfg = Lk23Config(
+        n=scale.lk23_n, iterations=scale.lk23_iterations, n_threads=cores
+    )
+    rows = []
+    r = run_orwl_lk23(machine_by_name(machine_name), cfg, affinity=False, seed=seed)
+    rows.append(CounterRow.from_counters("ORWL", r.counters, r.seconds))
+    r = run_orwl_lk23(machine_by_name(machine_name), cfg, affinity=True, seed=seed)
+    rows.append(CounterRow.from_counters("ORWL (Affinity)", r.counters, r.seconds))
+    o = run_openmp_lk23(machine_by_name(machine_name), cfg, binding=None, seed=seed)
+    rows.append(CounterRow.from_counters("OpenMP", o.counters, o.seconds))
+    o = run_openmp_lk23(machine_by_name(machine_name), cfg, binding="close", seed=seed)
+    rows.append(CounterRow.from_counters("OpenMP (Affinity)", o.counters, o.seconds))
+    return rows
+
+
+# -- Table III: matmul counters on SMP12E5, 64 cores --------------------------------------
+
+
+def table3_matmul_counters(
+    *,
+    machine_name: str = "SMP12E5",
+    cores: int = 64,
+    scale: Scale | None = None,
+    seed: int = 1,
+) -> list[CounterRow]:
+    scale = scale or current_scale()
+    cfg = MatmulConfig(n=scale.matmul_n, n_tasks=cores)
+    rows = []
+    r = run_orwl_matmul(machine_by_name(machine_name), cfg, affinity=False, seed=seed)
+    rows.append(CounterRow.from_counters("ORWL", r.counters, r.seconds))
+    r = run_orwl_matmul(machine_by_name(machine_name), cfg, affinity=True, seed=seed)
+    rows.append(CounterRow.from_counters("ORWL (Affinity)", r.counters, r.seconds))
+    for label, binding in (
+        ("MKL", None),
+        ("MKL (Affinity scatter)", "scatter"),
+        ("MKL (Affinity compact)", "compact"),
+    ):
+        o = threaded_dgemm(
+            machine_by_name(machine_name), scale.matmul_n, cores,
+            binding=binding, seed=seed,
+        )
+        rows.append(CounterRow.from_counters(label, o.counters, o.seconds))
+    return rows
+
+
+# -- Table IV: video counters on SMP12E5 (4 sockets), HD --------------------------------------
+
+
+def table4_video_counters(
+    *,
+    scale: Scale | None = None,
+    seed: int = 1,
+) -> list[CounterRow]:
+    scale = scale or current_scale()
+    cfg = VideoConfig(resolution="HD", frames=scale.video_frames)
+    rows = []
+    r, _ = run_orwl_video(smp12e5_4s(), cfg, affinity=False, seed=seed)
+    rows.append(CounterRow.from_counters("ORWL", r.counters, r.seconds))
+    r, _ = run_orwl_video(smp12e5_4s(), cfg, affinity=True, seed=seed)
+    rows.append(CounterRow.from_counters("ORWL (Affinity)", r.counters, r.seconds))
+    o = run_openmp_video(smp12e5_4s(), cfg, 30, binding=None, seed=seed)
+    rows.append(CounterRow.from_counters("OpenMP", o.counters, o.seconds))
+    o = run_openmp_video(smp12e5_4s(), cfg, 30, binding="close", seed=seed)
+    rows.append(CounterRow.from_counters("OpenMP (Affinity)", o.counters, o.seconds))
+    return rows

@@ -1,0 +1,17 @@
+"""OpenMP-like fork-join runtime model (the paper's reference point).
+
+Implements the semantics the paper compares against: a persistent thread
+team, ``parallel_for`` with static chunking and an implicit barrier,
+master-thread allocation (⇒ first-touch NUMA homing on the master's
+node), and the standard affinity knobs — ``OMP_PROC_BIND=close/spread``
+over ``OMP_PLACES=cores`` and Intel's ``KMP_AFFINITY=compact/scatter``.
+
+None of these strategies see the application's communication structure;
+that blindness is what Sections II and VI of the paper demonstrate.
+"""
+
+from repro.openmp.affinity import omp_binding
+from repro.openmp.mkl import threaded_dgemm
+from repro.openmp.runtime import OMPResult, OpenMPRuntime
+
+__all__ = ["OpenMPRuntime", "OMPResult", "omp_binding", "threaded_dgemm"]

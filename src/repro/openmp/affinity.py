@@ -1,0 +1,51 @@
+"""OpenMP/KMP binding strategies mapped onto baseline placements.
+
+``omp_binding(topology, n_threads, strategy)`` returns the PU for each
+team thread, or ``None`` for the unbound default:
+
+===========  ====================================================
+strategy     meaning
+===========  ====================================================
+``None``     no binding; the OS scheduler decides (native runs)
+``close``    OMP_PLACES=cores, OMP_PROC_BIND=close
+``spread``   OMP_PLACES=cores, OMP_PROC_BIND=spread
+``compact``  KMP_AFFINITY=granularity=core,compact (HT siblings first)
+``scatter``  KMP_AFFINITY=granularity=core,scatter
+===========  ====================================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import OpenMPError
+from repro.topology.tree import Topology
+from repro.treematch.strategies import (
+    compact_placement,
+    cores_close_placement,
+    cores_spread_placement,
+    scatter_placement,
+)
+
+__all__ = ["omp_binding", "OMP_STRATEGIES"]
+
+OMP_STRATEGIES = (None, "close", "spread", "compact", "scatter")
+
+
+def omp_binding(
+    topology: Topology, n_threads: int, strategy: str | None
+) -> dict[int, int] | None:
+    """Thread→PU map for *strategy*, or None for the unbound default."""
+    if strategy is None:
+        return None
+    if strategy == "close":
+        placement = cores_close_placement(topology, n_threads)
+    elif strategy == "spread":
+        placement = cores_spread_placement(topology, n_threads)
+    elif strategy == "compact":
+        placement = compact_placement(topology, n_threads)
+    elif strategy == "scatter":
+        placement = scatter_placement(topology, n_threads)
+    else:
+        raise OpenMPError(
+            f"unknown OpenMP binding {strategy!r}; known: {OMP_STRATEGIES}"
+        )
+    return dict(placement.thread_to_pu)

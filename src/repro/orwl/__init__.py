@@ -1,0 +1,40 @@
+"""ORWL — the Ordered Read-Write Locks runtime model.
+
+A Python rendition of the C library's programming model (Clauss & Gustedt,
+JPDC 2010) running on the simulated machine:
+
+* **locations** (:class:`Location`) are shared resources guarded by a FIFO
+  of read/write requests; adjacent read requests are served concurrently;
+* **tasks** decompose the application; each task runs one or more
+  **operations**, each an OS (simulated) thread;
+* **handles** (:class:`Handle`) connect operations to locations with read
+  or write access; *iterative* handles re-insert their request on release
+  (the ``orwl_handle2`` / ``ORWL_SECTION2`` idiom), which yields
+  deadlock-free, fair, decentralized iteration;
+* **control threads** (one per location) perform lock handoff and data
+  transfer — the source of ORWL's context-switch signature in Tables
+  II–IV;
+* the **affinity add-on** (:mod:`repro.orwl.affinity`) is the paper's
+  contribution: fully automatic topology-aware placement of all these
+  threads, enabled by ``ORWL_AFFINITY=1`` or ``Runtime(affinity=True)``.
+"""
+
+from repro.orwl.affinity import AffinityModule
+from repro.orwl.dependency import dependency_matrix
+from repro.orwl.handle import Handle
+from repro.orwl.location import Location
+from repro.orwl.runtime import RunResult, Runtime
+from repro.orwl.section import section
+from repro.orwl.task import Operation, Task
+
+__all__ = [
+    "Runtime",
+    "RunResult",
+    "Task",
+    "Operation",
+    "Location",
+    "Handle",
+    "section",
+    "dependency_matrix",
+    "AffinityModule",
+]

@@ -1,0 +1,106 @@
+"""The affinity add-on — the paper's contribution (Sec. IV).
+
+Fully automatic: with ``ORWL_AFFINITY=1`` (or ``Runtime(affinity=True)``)
+the three steps below run transparently at startup. The advanced API
+exposes them individually for debugging and for dynamic re-mapping when
+the task/location graph changes at run time:
+
+* :meth:`AffinityModule.dependency_get` — extract the communication
+  matrix from the declared handles (no app code runs);
+* :meth:`AffinityModule.affinity_compute` — Algorithm 1 (TreeMatch with
+  control-thread and oversubscription adaptations) against the hwloc-style
+  topology;
+* :meth:`AffinityModule.affinity_set` — bind every compute thread to its
+  PU and every control thread per the control plan (hyperthread siblings,
+  spare cores, or left to the OS).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ORWLError
+from repro.orwl.dependency import dependency_matrix
+from repro.treematch.commmatrix import CommunicationMatrix
+from repro.treematch.mapping import Placement, treematch_map
+from repro.util.bitmap import Bitmap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orwl.runtime import Runtime
+
+__all__ = ["AffinityModule"]
+
+
+class AffinityModule:
+    """Holds the affinity state of one runtime (matrix, placement)."""
+
+    def __init__(self, runtime: "Runtime") -> None:
+        self.runtime = runtime
+        self.comm: CommunicationMatrix | None = None
+        self.placement: Placement | None = None
+        #: Ablation hooks consumed by :meth:`affinity_compute` (set before
+        #: ``run()``): ``hyperthread_aware`` (bool), ``engine``
+        #: ("optimal"/"greedy"), ``use_control_threads`` (bool).
+        self.options: dict = {}
+
+    def dependency_get(self) -> CommunicationMatrix:
+        """Compute and store the operation communication matrix."""
+        self.comm = dependency_matrix(self.runtime)
+        return self.comm
+
+    def affinity_compute(
+        self,
+        *,
+        hyperthread_aware: bool | None = None,
+        engine: str | None = None,
+    ) -> Placement:
+        """Run Algorithm 1; stores and returns the placement.
+
+        Explicit arguments override :attr:`options` (the ablation hooks).
+        """
+        if self.comm is None:
+            self.dependency_get()
+        assert self.comm is not None
+        if hyperthread_aware is None:
+            hyperthread_aware = self.options.get("hyperthread_aware", True)
+        if engine is None:
+            engine = self.options.get("engine")
+        locations = self.runtime.locations
+        if self.options.get("use_control_threads", True):
+            n_control = len(locations)
+            owners = [loc.owner.op_id for loc in locations]
+        else:
+            n_control = 0
+            owners = []
+        self.placement = treematch_map(
+            self.runtime.topology,
+            self.comm,
+            n_control=n_control,
+            control_owners=owners,
+            hyperthread_aware=hyperthread_aware,
+            engine=engine,
+        )
+        return self.placement
+
+    def affinity_set(self) -> None:
+        """Bind the machine threads according to the stored placement.
+
+        Compute thread *i* is operation *i* (runtime spawn order); control
+        thread *j* guards location *j*. Threads without an entry (control
+        mode ``"os"``) stay unbound.
+        """
+        if self.placement is None:
+            raise ORWLError("affinity_set before affinity_compute")
+        machine = self.runtime.machine
+        compute_threads = [t for t in machine.threads if t.kind == "compute"]
+        control_threads = [t for t in machine.threads if t.kind == "control"]
+        if len(compute_threads) != self.comm.order:
+            raise ORWLError(
+                f"{len(compute_threads)} compute threads vs matrix order "
+                f"{self.comm.order}; call affinity_set from run()"
+            )
+        for op_id, pu in self.placement.thread_to_pu.items():
+            machine.bind_thread(compute_threads[op_id], Bitmap.single(pu))
+        for loc_id, pu in self.placement.control_to_pu.items():
+            if loc_id < len(control_threads):
+                machine.bind_thread(control_threads[loc_id], Bitmap.single(pu))

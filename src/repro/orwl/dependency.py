@@ -1,0 +1,41 @@
+"""Dependency extraction — ``orwl_dependency_get``.
+
+At schedule time the runtime knows every task/operation, every location
+(with its payload size) and every handle. That is all the affinity module
+needs: the communication matrix entry ``[a, b]`` accumulates the bytes
+operation *a* moves per iteration through locations owned by operation
+*b*. No application code runs and nothing needs to be annotated — the
+paper's central "abstracted" property.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.treematch.commmatrix import CommunicationMatrix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orwl.runtime import Runtime
+
+__all__ = ["dependency_matrix"]
+
+
+def dependency_matrix(runtime: "Runtime") -> CommunicationMatrix:
+    """Build the operation-to-operation communication matrix."""
+    ops = runtime.operations
+    n = len(ops)
+    m = np.zeros((n, n))
+    for op in ops:
+        for handle in op.handles:
+            owner = handle.location.owner
+            if owner is op:
+                continue
+            traffic = (
+                handle.traffic
+                if handle.traffic is not None
+                else float(handle.location.size)
+            )
+            m[op.op_id, owner.op_id] += traffic
+    return CommunicationMatrix(m, labels=[op.name for op in ops])

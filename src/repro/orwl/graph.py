@@ -1,0 +1,65 @@
+"""Export the task/location graph (Fig. 3 style) as DOT or edge list.
+
+``to_dot(runtime)`` renders operations as boxes and locations as
+ellipses, with write edges op→location and read edges location→op —
+the shape of the paper's Fig. 3 data-flow diagram. Works on any declared
+program (before or after schedule).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orwl.runtime import Runtime
+
+__all__ = ["to_dot", "edge_list"]
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def edge_list(runtime: "Runtime") -> list[tuple[str, str, str, float]]:
+    """All graph edges as ``(src, dst, mode, traffic_bytes)`` tuples.
+
+    Write handles give ``(op, location, "w", bytes)``; read handles give
+    ``(location, op, "r", bytes)``.
+    """
+    edges = []
+    for op in runtime.operations:
+        for h in op.handles:
+            traffic = h.traffic if h.traffic is not None else float(h.location.size)
+            if h.mode == "w":
+                edges.append((op.name, h.location.name, "w", traffic))
+            else:
+                edges.append((h.location.name, op.name, "r", traffic))
+    return edges
+
+
+def to_dot(runtime: "Runtime", *, name: str = "orwl") -> str:
+    """Graphviz DOT rendering of the program's data-flow graph."""
+    lines = [
+        f"digraph {_quote(name)} {{",
+        "  rankdir=LR;",
+        "  node [fontsize=10];",
+    ]
+    for op in runtime.operations:
+        lines.append(
+            f"  {_quote(op.name)} [shape=box, style=filled, "
+            'fillcolor="#fff2a8"];'
+        )
+    for loc in runtime.locations:
+        label = _quote(loc.name + "\\n" + str(loc.size) + "B")
+        lines.append(
+            f"  {_quote(loc.name)} [shape=ellipse, style=filled, "
+            f'fillcolor="#ffc285", label={label}];'
+        )
+    for src, dst, mode, traffic in edge_list(runtime):
+        style = "solid" if mode == "w" else "dashed"
+        lines.append(
+            f"  {_quote(src)} -> {_quote(dst)} "
+            f'[style={style}, label="{traffic:g}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

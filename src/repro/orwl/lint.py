@@ -1,0 +1,99 @@
+"""Static checks on an ORWL program graph (``validate``).
+
+Run before ``schedule()`` to catch the classic wiring mistakes that
+otherwise only show up as deadlocks or silent no-communication:
+
+* a location nobody reads (dead write traffic),
+* a location with readers but no writer (reads only ever see zeros),
+* an owner without any handle on its own location,
+* an operation with no handles at all in a program that has locations,
+* non-iterative handles in programs that look iterative (mixed usage).
+
+Issues are advisory (the model permits all of these); ``level`` is
+``"warning"`` or ``"note"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orwl.runtime import Runtime
+
+__all__ = ["Issue", "validate_program"]
+
+
+@dataclass(frozen=True)
+class Issue:
+    level: str  # "warning" | "note"
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"[{self.level}] {self.code}: {self.message}"
+
+
+def validate_program(runtime: "Runtime") -> list[Issue]:
+    """Inspect the declared graph; returns a list of issues (possibly empty)."""
+    issues: list[Issue] = []
+    readers: dict[int, int] = {loc.loc_id: 0 for loc in runtime.locations}
+    writers: dict[int, int] = {loc.loc_id: 0 for loc in runtime.locations}
+    owner_handles: dict[int, int] = {loc.loc_id: 0 for loc in runtime.locations}
+    iterative_seen = non_iterative_seen = False
+
+    for op in runtime.operations:
+        for h in op.handles:
+            lid = h.location.loc_id
+            if h.mode == "r":
+                readers[lid] += 1
+            else:
+                writers[lid] += 1
+            if h.op is h.location.owner:
+                owner_handles[lid] += 1
+            if h.iterative:
+                iterative_seen = True
+            else:
+                non_iterative_seen = True
+
+    for loc in runtime.locations:
+        lid = loc.loc_id
+        if writers[lid] and not readers[lid]:
+            issues.append(Issue(
+                "note", "unread-location",
+                f"location {loc.name!r} is written but never read",
+            ))
+        if readers[lid] and not writers[lid]:
+            issues.append(Issue(
+                "warning", "writerless-location",
+                f"location {loc.name!r} has {readers[lid]} reader(s) but "
+                "no writer — reads will only ever observe initial data",
+            ))
+        if not readers[lid] and not writers[lid]:
+            issues.append(Issue(
+                "warning", "orphan-location",
+                f"location {loc.name!r} has no handles at all",
+            ))
+        elif owner_handles[lid] == 0:
+            issues.append(Issue(
+                "note", "absent-owner",
+                f"owner {loc.owner.name!r} holds no handle on its own "
+                f"location {loc.name!r}",
+            ))
+
+    if runtime.locations:
+        for op in runtime.operations:
+            if not op.handles:
+                issues.append(Issue(
+                    "note", "handleless-operation",
+                    f"operation {op.name!r} uses no locations "
+                    "(pure compute)",
+                ))
+
+    if iterative_seen and non_iterative_seen:
+        issues.append(Issue(
+            "note", "mixed-iteration",
+            "program mixes iterative and one-shot handles; one-shot "
+            "handles stop participating after their first release",
+        ))
+    return issues

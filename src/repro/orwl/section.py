@@ -1,0 +1,34 @@
+"""ORWL_SECTION sugar for generator-style task bodies.
+
+Usage inside an operation body::
+
+    def body(op):
+        ...
+        yield from section(handle, work())          # one handle
+        yield from section([h_in, h_out], work())   # nested sections
+
+where ``work()`` is a generator run while the handle(s) are held. Handles
+are acquired in the given order and released in reverse, mirroring nested
+``ORWL_SECTION`` blocks in the C API.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.orwl.handle import Handle
+
+__all__ = ["section"]
+
+
+def section(handles: Handle | Iterable[Handle], body: Iterator | None = None):
+    """Generator wrapping *body* in acquire/release of *handles*."""
+    hs = [handles] if isinstance(handles, Handle) else list(handles)
+    for h in hs:
+        yield from h.acquire()
+    try:
+        if body is not None:
+            yield from body
+    finally:
+        for h in reversed(hs):
+            h.release()

@@ -1,0 +1,44 @@
+"""DFG extensions: ``orwl_split`` (and the Fig. 3 fan-out idiom).
+
+``split_readers`` distributes read access to one location over *k*
+operations, each consuming ``1/k`` of the payload — the primitive used to
+parallelize the GMM and CCL stages of the video pipeline. Each reader's
+handle carries a proportional ``traffic`` so the communication matrix sees
+the split (cf. the block structure of Fig. 1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ORWLError
+from repro.orwl.handle import Handle
+from repro.orwl.location import Location
+from repro.orwl.task import Operation
+
+__all__ = ["split_readers", "split_fraction"]
+
+
+def split_fraction(location: Location, k: int) -> float:
+    """Bytes each of *k* split readers moves per iteration."""
+    if k <= 0:
+        raise ORWLError(f"split factor must be positive, got {k}")
+    return location.size / k
+
+
+def split_readers(
+    location: Location,
+    ops: Sequence[Operation],
+    *,
+    iterative: bool = True,
+) -> list[Handle]:
+    """Give every op in *ops* a read handle on a 1/k slice of *location*."""
+    if not ops:
+        raise ORWLError("split_readers needs at least one operation")
+    share = split_fraction(location, len(ops))
+    handles: list[Handle] = []
+    for op in ops:
+        h = op.read_handle(location, iterative=iterative)
+        h.traffic = share
+        handles.append(h)
+    return handles

@@ -1,0 +1,117 @@
+"""ORWL tasks and operations.
+
+A :class:`Task` decomposes the application (``orwl_task``); it executes as
+one or more :class:`Operation`\\ s, each backed by one simulated thread.
+The single-thread-per-task model of the paper is simply a task with one
+operation. Operations own locations and handles; handles must be declared
+before :meth:`repro.orwl.runtime.Runtime.schedule` so the runtime can
+extract the dependency structure without running any application code —
+the property the affinity module relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ORWLError
+from repro.orwl.handle import Handle
+from repro.orwl.location import Location
+from repro.sim.process import Compute
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orwl.runtime import Runtime
+
+__all__ = ["Task", "Operation"]
+
+BodyFn = Callable[["Operation"], Any]
+
+
+class Operation:
+    """One schedulable thread of a task."""
+
+    def __init__(self, op_id: int, task: "Task", name: str, body: BodyFn | None) -> None:
+        self.op_id = op_id
+        self.task = task
+        self.name = name
+        self.body = body
+        self.handles: list[Handle] = []
+        self.locations: list[Location] = []
+
+    # -- declaration API ------------------------------------------------------
+
+    def location(self, name: str, size: int = 0) -> Location:
+        """Declare a location owned by this operation."""
+        return self.task.runtime._new_location(self, name, size)
+
+    def write_handle(self, location: Location, *, iterative: bool = False) -> Handle:
+        """``orwl_write_insert`` — exclusive access to *location*."""
+        return self._insert_handle(location, "w", iterative)
+
+    def read_handle(self, location: Location, *, iterative: bool = False) -> Handle:
+        """``orwl_read_insert`` — shared access to *location*."""
+        return self._insert_handle(location, "r", iterative)
+
+    def _insert_handle(self, location: Location, mode: str, iterative: bool) -> Handle:
+        self.task.runtime._check_not_scheduled("insert a handle")
+        handle = Handle(self, location, mode, iterative=iterative)
+        self.handles.append(handle)
+        return handle
+
+    def set_body(self, body: BodyFn) -> None:
+        self.body = body
+
+    # -- body helpers -----------------------------------------------------------
+
+    @staticmethod
+    def compute(flops: float, efficiency: float = 1.0) -> Compute:
+        """Convenience: a Compute op to yield from a body."""
+        return Compute(flops, efficiency)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Operation #{self.op_id} {self.name!r}>"
+
+
+class Task:
+    """An application task (``orwl_task``): a named group of operations."""
+
+    def __init__(self, task_id: int, runtime: "Runtime", name: str) -> None:
+        self.task_id = task_id
+        self.runtime = runtime
+        self.name = name
+        self.operations: list[Operation] = []
+
+    def operation(self, name: str = "", body: BodyFn | None = None) -> Operation:
+        """Add an operation (one thread). Name defaults to ``task/opN``."""
+        self.runtime._check_not_scheduled("add an operation")
+        label = name or f"{self.name}/op{len(self.operations)}"
+        op = self.runtime._new_operation(self, label, body)
+        self.operations.append(op)
+        return op
+
+    @property
+    def main_op(self) -> Operation:
+        """The task's first operation (created on demand) — the one-thread-
+        per-task model."""
+        if not self.operations:
+            return self.operation()
+        return self.operations[0]
+
+    # -- sugar delegating to the main operation ------------------------------------
+
+    def location(self, name: str, size: int = 0) -> Location:
+        return self.main_op.location(name, size)
+
+    def write_handle(self, location: Location, *, iterative: bool = False) -> Handle:
+        return self.main_op.write_handle(location, iterative=iterative)
+
+    def read_handle(self, location: Location, *, iterative: bool = False) -> Handle:
+        return self.main_op.read_handle(location, iterative=iterative)
+
+    def set_body(self, body: BodyFn) -> None:
+        if self.main_op.body is not None:
+            raise ORWLError(f"task {self.name!r} main operation already has a body")
+        self.main_op.set_body(body)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Task #{self.task_id} {self.name!r} ops={len(self.operations)}>"

@@ -1,0 +1,180 @@
+"""L3-centric cache model with LRU residency and write invalidation.
+
+The model tracks, per L3 (one per socket on both testbeds), how many bytes
+of each buffer are resident. A :meth:`CacheSystem.touch` splits an access
+into hit and miss bytes, prices them, installs the touched bytes (evicting
+LRU), and on writes invalidates the buffer in every *other* L3 — the
+coherence traffic that makes cross-socket producer/consumer expensive and
+shared-L3 pipelines cheap, i.e. exactly the effect the paper's placement
+exploits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.counters import Counters
+from repro.sim.memory import Buffer, MemorySystem
+from repro.sim.params import CostModel
+from repro.topology.objects import ObjType
+from repro.topology.tree import Topology
+
+__all__ = ["L3State", "CacheSystem", "TouchResult"]
+
+
+@dataclass(frozen=True)
+class TouchResult:
+    """Priced access: hit/miss cycle split plus the buffer's home node.
+
+    The miss portion is what memory-controller contention scales; hits are
+    served by the local L3 and are contention-free.
+    """
+
+    hit_cycles: float
+    miss_cycles: float
+    miss_bytes: float
+    home_numa: int
+
+    @property
+    def cycles(self) -> float:
+        return self.hit_cycles + self.miss_cycles
+
+
+class L3State:
+    """Residency bookkeeping for one last-level cache."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise SimulationError("L3 capacity must be positive")
+        self.capacity = capacity
+        self.used = 0
+        self._resident: OrderedDict[int, float] = OrderedDict()
+
+    def resident_bytes(self, buf_id: int) -> float:
+        return self._resident.get(buf_id, 0.0)
+
+    def install(self, buf_id: int, nbytes: float) -> None:
+        """Make *nbytes* of the buffer resident (LRU eviction as needed)."""
+        nbytes = min(nbytes, self.capacity)
+        current = self._resident.pop(buf_id, 0.0)
+        self.used -= current
+        target = min(max(current, nbytes), self.capacity)
+        while self.used + target > self.capacity and self._resident:
+            _, evicted = self._resident.popitem(last=False)
+            self.used -= evicted
+        if self.used + target > self.capacity:
+            target = self.capacity - self.used
+        self._resident[buf_id] = target
+        self.used += target
+
+    def touch_lru(self, buf_id: int) -> None:
+        if buf_id in self._resident:
+            self._resident.move_to_end(buf_id)
+
+    def invalidate(self, buf_id: int) -> None:
+        dropped = self._resident.pop(buf_id, 0.0)
+        self.used -= dropped
+
+    def flush(self) -> None:
+        self._resident.clear()
+        self.used = 0
+
+
+class CacheSystem:
+    """All L3s of the machine plus the touch-pricing logic."""
+
+    def __init__(
+        self, topology: Topology, model: CostModel, memory: MemorySystem
+    ) -> None:
+        self.topology = topology
+        self.model = model
+        self.memory = memory
+        l3_objs = topology.objects_by_type(ObjType.L3)
+        if not l3_objs:
+            raise SimulationError("topology has no L3 caches")
+        self._l3s = [L3State(obj.cache.size) for obj in l3_objs]
+        self._pu_l3: dict[int, int] = {}
+        for idx, obj in enumerate(l3_objs):
+            for pu in obj.leaves():
+                self._pu_l3[pu.os_index] = idx
+
+    def l3_index_of_pu(self, pu: int) -> int:
+        try:
+            return self._pu_l3[pu]
+        except KeyError:
+            raise SimulationError(f"PU {pu} is not under any L3") from None
+
+    def l3_of_pu(self, pu: int) -> L3State:
+        return self._l3s[self.l3_index_of_pu(pu)]
+
+    def flush_all(self) -> None:
+        for l3 in self._l3s:
+            l3.flush()
+
+    # -- the core pricing call --------------------------------------------------
+
+    def touch(
+        self,
+        pu: int,
+        buf: Buffer,
+        nbytes: float,
+        *,
+        write: bool,
+        counters: Counters,
+    ) -> TouchResult:
+        """Price an access of *nbytes* of *buf* from *pu*.
+
+        Updates residency, performs first-touch homing, and accumulates the
+        L3-miss / stall / traffic counters.
+        """
+        if nbytes <= 0:
+            home = self.memory.first_touch(buf, pu)
+            return TouchResult(0.0, 0.0, 0.0, home)
+        nbytes = min(float(nbytes), float(buf.size))
+        line = self.model.cache_line
+        l3_idx = self.l3_index_of_pu(pu)
+        l3 = self._l3s[l3_idx]
+        accessor_numa = self.memory.numa_of_pu(pu)
+        home = self.memory.first_touch(buf, pu)
+
+        # Fractional residency: with R of the buffer's S bytes resident,
+        # a touch of n bytes hits on n·R/S of them. This avoids aliasing
+        # different chunks of one large shared buffer (distinct threads
+        # touching distinct slices must not hit on each other's lines)
+        # while still giving full reuse for buffers that fit entirely.
+        resident = l3.resident_bytes(buf.buf_id)
+        hit_fraction = min(1.0, resident / float(buf.size))
+        hit_bytes = nbytes * hit_fraction
+        miss_bytes = nbytes - hit_bytes
+        lines_hit = hit_bytes / line
+        lines_miss = miss_bytes / line
+
+        miss_per_line = self.memory.miss_cycles_per_line(accessor_numa, home)
+        hit_cycles = lines_hit * self.model.l3_hit_cycles
+        miss_cycles = lines_miss * miss_per_line
+        cycles = hit_cycles + miss_cycles
+        result = TouchResult(hit_cycles, miss_cycles, miss_bytes, home)
+
+        counters.l3_hits += lines_hit
+        counters.l3_misses += lines_miss
+        counters.stalled_cycles += miss_cycles * self.model.stall_fraction
+        counters.memory_cycles += cycles
+        counters.bytes_touched += nbytes
+        if self.memory.is_remote(accessor_numa, home):
+            counters.remote_bytes += miss_bytes
+
+        if nbytes > l3.capacity:
+            # Streaming a working set larger than the cache self-evicts:
+            # by the time the stream wraps around, its head is gone, so a
+            # cyclic re-touch gets no reuse (classic LRU worst case).
+            l3.invalidate(buf.buf_id)
+        else:
+            l3.install(buf.buf_id, min(resident + miss_bytes, float(buf.size)))
+            l3.touch_lru(buf.buf_id)
+        if write and self.model.write_invalidate:
+            for idx, other in enumerate(self._l3s):
+                if idx != l3_idx:
+                    other.invalidate(buf.buf_id)
+        return result

@@ -1,0 +1,70 @@
+"""Hardware/software counters (the simulator's `perf stat`).
+
+Mirrors the four quantities of Tables II–IV of the paper plus bookkeeping
+used by the experiment harness. Counters exist globally and per thread;
+:meth:`Counters.add` merges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Counters"]
+
+
+@dataclass
+class Counters:
+    """Accumulated event counts for a run (or a single thread)."""
+
+    l3_misses: float = 0.0
+    l3_hits: float = 0.0
+    stalled_cycles: float = 0.0
+    context_switches: int = 0
+    cpu_migrations: int = 0
+    busy_cycles: float = 0.0
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    flops: float = 0.0
+    bytes_touched: float = 0.0
+    remote_bytes: float = 0.0
+
+    def add(self, other: Counters) -> None:
+        """Merge *other* into self."""
+        self.l3_misses += other.l3_misses
+        self.l3_hits += other.l3_hits
+        self.stalled_cycles += other.stalled_cycles
+        self.context_switches += other.context_switches
+        self.cpu_migrations += other.cpu_migrations
+        self.busy_cycles += other.busy_cycles
+        self.compute_cycles += other.compute_cycles
+        self.memory_cycles += other.memory_cycles
+        self.flops += other.flops
+        self.bytes_touched += other.bytes_touched
+        self.remote_bytes += other.remote_bytes
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view (for reports and JSON dumps)."""
+        return {
+            "l3_misses": self.l3_misses,
+            "l3_hits": self.l3_hits,
+            "stalled_cycles": self.stalled_cycles,
+            "context_switches": float(self.context_switches),
+            "cpu_migrations": float(self.cpu_migrations),
+            "busy_cycles": self.busy_cycles,
+            "compute_cycles": self.compute_cycles,
+            "memory_cycles": self.memory_cycles,
+            "flops": self.flops,
+            "bytes_touched": self.bytes_touched,
+            "remote_bytes": self.remote_bytes,
+        }
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.l3_misses + self.l3_hits
+        return self.l3_misses / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Counters misses={self.l3_misses:.3g} stalls={self.stalled_cycles:.3g} "
+            f"ctxsw={self.context_switches} migr={self.cpu_migrations}>"
+        )

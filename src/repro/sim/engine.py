@@ -1,0 +1,73 @@
+"""The discrete-event core: a time-ordered callback queue.
+
+Deliberately minimal — all machine semantics (PUs, scheduling, caches)
+live above it in :mod:`repro.sim.machine`. Events at equal times fire in
+scheduling order (a monotonically increasing sequence number breaks ties),
+which keeps every simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """A deterministic event queue over a virtual clock (in cycles)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._events_processed = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run *fn* at ``now + delay`` (delay may be 0, never negative)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run *fn* at absolute time *when* (>= now)."""
+        self.schedule(when - self.now, fn)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _, fn = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event queue went backwards in time")
+        self.now = when
+        self._events_processed += 1
+        fn()
+        return True
+
+    def run(self, *, max_cycles: float | None = None, max_events: int | None = None) -> None:
+        """Drain the queue, optionally stopping at a time/event budget."""
+        start_events = self._events_processed
+        while self._heap:
+            if max_cycles is not None and self._heap[0][0] > max_cycles:
+                break
+            if (
+                max_events is not None
+                and self._events_processed - start_events >= max_events
+            ):
+                raise SimulationError(
+                    f"event budget {max_events} exhausted at t={self.now:.3g} "
+                    "— runaway simulation?"
+                )
+            self.step()

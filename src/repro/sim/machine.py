@@ -1,0 +1,457 @@
+"""The simulated machine: threads × PUs × caches × OS, under one clock.
+
+:class:`SimMachine` is the façade the runtimes (ORWL, OpenMP-model) build
+on. Usage::
+
+    machine = SimMachine(smp12e5())
+    buf = machine.allocate(1 << 20, "halo")
+    done = machine.event("done")
+
+    def worker():
+        yield Compute(1e9)
+        yield Touch(buf, write=True)
+        done.signal()
+
+    machine.add_thread("w0", worker(), cpuset=Bitmap.single(0))
+    machine.run()
+    machine.elapsed_seconds  # virtual wall-clock
+
+Execution model: each thread is a generator; CPU-consuming ops (Compute,
+Touch) occupy the thread's PU for a priced duration, chopped at the OS
+timeslice so preemption, hyperthread contention and rebalancing are
+re-evaluated at quantum boundaries. Blocking ops free the PU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.cache import CacheSystem
+from repro.sim.counters import Counters
+from repro.sim.engine import Engine
+from repro.sim.memory import Buffer, MemorySystem
+from repro.sim.params import CostModel
+from repro.sim.process import (
+    Compute,
+    SimEvent,
+    SimThread,
+    Spawn,
+    ThreadGen,
+    Touch,
+    Wait,
+    YieldCPU,
+)
+from repro.sim.scheduler import OSScheduler
+from repro.sim.trace import Trace
+from repro.topology.binding import validate_cpuset
+from repro.topology.tree import Topology
+from repro.util.bitmap import Bitmap
+from repro.util.rng import make_rng
+
+__all__ = ["SimMachine"]
+
+#: Safety guard: max zero-cost ops a thread may issue without consuming time.
+MAX_OPS_PER_STEP = 100_000
+#: Default event budget for :meth:`SimMachine.run`.
+DEFAULT_MAX_EVENTS = 20_000_000
+
+
+class SimMachine:
+    """A virtual NUMA machine executing simulated threads."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        model: CostModel | None = None,
+        *,
+        os_policy: str | None = None,
+        seed: int = 0,
+        trace: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.model = model or CostModel()
+        self.engine = Engine()
+        self.memory = MemorySystem(topology, self.model)
+        self.caches = CacheSystem(topology, self.model, self.memory)
+        self._rng = make_rng(seed)
+        self.scheduler = OSScheduler(
+            topology,
+            self.memory,
+            policy=os_policy,
+            rng=self._rng,
+            migrate_prob=self.model.migrate_prob,
+            wakeup_migrate_prob=self.model.wakeup_migrate_prob,
+        )
+        self.threads: list[SimThread] = []
+        self.trace: Trace | None = Trace() if trace else None
+        self.clock_hz = float(topology.root.attrs.get("clock_hz", 2.6e9))
+        self._ready: deque[SimThread] = deque()
+        self._pu_last_tid: dict[int, int] = {}
+        self._sibling_pus: dict[int, list[int]] = {
+            pu.os_index: [s.os_index for s in topology.siblings_of_pu(pu.os_index)]
+            for pu in topology.pus
+        }
+        self._ran = False
+
+    # -- construction API ---------------------------------------------------
+
+    def allocate(
+        self,
+        size: int,
+        label: str = "",
+        *,
+        home_numa: int | None = None,
+        data=None,
+    ) -> Buffer:
+        """Allocate a simulated buffer (see :class:`MemorySystem`)."""
+        return self.memory.allocate(size, label, home_numa=home_numa, data=data)
+
+    def event(self, name: str = "", count: int = 0) -> SimEvent:
+        """A counting event wired to this machine's wakeup mechanism."""
+        return SimEvent(name, count, notify=self._on_signal)
+
+    def add_thread(
+        self,
+        name: str,
+        gen: ThreadGen,
+        *,
+        kind: str = "compute",
+        cpuset: Bitmap | None = None,
+        start: bool = True,
+    ) -> SimThread:
+        """Register a simulated thread; started at :meth:`run` by default.
+
+        ``cpuset=None`` leaves the thread to the OS scheduler policy;
+        a cpuset restricts (binds) it, like ``hwloc_set_cpubind``.
+        """
+        if kind not in ("compute", "control"):
+            raise SimulationError(f"unknown thread kind {kind!r}")
+        if cpuset is not None:
+            validate_cpuset(self.topology, cpuset)
+        thread = SimThread(
+            tid=len(self.threads), name=name, gen=gen, kind=kind, cpuset=cpuset
+        )
+        thread.state = "new" if start else "unstarted"
+        self.threads.append(thread)
+        return thread
+
+    def bind_thread(self, thread: SimThread, cpuset: Bitmap | None) -> None:
+        """Re-bind a registered thread (the affinity_set path)."""
+        if cpuset is not None:
+            validate_cpuset(self.topology, cpuset)
+        thread.cpuset = cpuset
+
+    # -- run loop -------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        max_cycles: float | None = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        allow_incomplete: bool = False,
+    ) -> float:
+        """Execute until every thread finishes; returns elapsed seconds.
+
+        Raises :class:`DeadlockError` if threads remain blocked with an
+        empty event queue (unless *allow_incomplete*).
+        """
+        if self._ran:
+            raise SimulationError("SimMachine.run may only be called once")
+        self._ran = True
+        for thread in self.threads:
+            if thread.state == "new":
+                self._make_ready(thread)
+        self._dispatch()
+        self.engine.run(max_cycles=max_cycles, max_events=max_events)
+        leftover = [t for t in self.threads if t.state not in ("done", "unstarted")]
+        if leftover and not allow_incomplete and max_cycles is None:
+            blocked = ", ".join(
+                f"{t.name}({t.state}"
+                + (f" on {t.waiting_on.name!r}" if t.waiting_on else "")
+                + ")"
+                for t in leftover[:12]
+            )
+            raise DeadlockError(
+                f"{len(leftover)} thread(s) never finished: {blocked}"
+            )
+        return self.elapsed_seconds
+
+    @property
+    def elapsed_cycles(self) -> float:
+        return self.engine.now
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.engine.now / self.clock_hz
+
+    def total_counters(self) -> Counters:
+        """Aggregate of all per-thread counters."""
+        total = Counters()
+        for t in self.threads:
+            total.add(t.counters)
+        return total
+
+    def utilization(self) -> float:
+        """Fraction of PU-cycles spent busy over the whole run."""
+        if self.engine.now <= 0:
+            return 0.0
+        capacity = self.engine.now * self.topology.n_pus
+        return min(1.0, self.total_counters().busy_cycles / capacity)
+
+    def counters_by_kind(self, kind: str) -> Counters:
+        total = Counters()
+        for t in self.threads:
+            if t.kind == kind:
+                total.add(t.counters)
+        return total
+
+    # -- internals: readiness and dispatch ----------------------------------------
+
+    def _trace(self, tag: str, thread: SimThread | None, detail: str = "") -> None:
+        if self.trace is not None:
+            tid = thread.tid if thread is not None else -1
+            self.trace.record(self.engine.now, tid, tag, detail)
+
+    def _on_signal(self, event: SimEvent) -> None:
+        # Called synchronously from app code; defer wakeups to the engine
+        # so generator execution is never reentrant.
+        self.engine.schedule(0.0, lambda: self._drain_event(event))
+
+    def _drain_event(self, event: SimEvent) -> None:
+        woke = False
+        while event.count > 0 and event.waiters:
+            thread = event.waiters.pop(0)
+            event.count -= 1
+            thread.waiting_on = None
+            self._make_ready(thread)
+            woke = True
+        if woke:
+            self._dispatch()
+
+    def _make_ready(self, thread: SimThread) -> None:
+        if thread.state in ("done",):
+            raise SimulationError(f"cannot restart finished thread {thread.name}")
+        thread.state = "ready"
+        self._ready.append(thread)
+        self._trace("ready", thread)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed and self._ready:
+            progressed = False
+            for thread in list(self._ready):
+                pu = self.scheduler.place(thread, rebalance=thread.needs_rebalance)
+                if pu is None:
+                    continue
+                self._ready.remove(thread)
+                thread.needs_rebalance = False
+                self._start_on(thread, pu)
+                progressed = True
+
+    def _start_on(self, thread: SimThread, pu: int) -> None:
+        overhead = 0.0
+        if self._pu_last_tid.get(pu) != thread.tid:
+            thread.counters.context_switches += 1
+            overhead += self.model.context_switch_cycles
+        if thread.last_pu is not None and thread.last_pu != pu:
+            thread.counters.cpu_migrations += 1
+            overhead += self.model.migration_cycles
+        self.scheduler.occupy(pu, thread)
+        self._pu_last_tid[pu] = thread.tid
+        thread.state = "running"
+        thread.pu = pu
+        thread.last_pu = pu
+        self._trace("run", thread, f"pu={pu}")
+        self.engine.schedule(overhead, lambda: self._step(thread))
+
+    def _release_pu(self, thread: SimThread) -> None:
+        if thread.pu is None:
+            raise SimulationError(f"{thread.name} holds no PU")
+        self.scheduler.release(thread.pu)
+        thread.pu = None
+
+    # -- internals: generator stepping ----------------------------------------------
+
+    def _step(self, thread: SimThread) -> None:
+        """Advance the generator until a timed/blocking op or completion."""
+        if thread.pending_busy > 0.0:
+            self._run_busy(thread, thread.pending_busy, resumed=True)
+            return
+        for _ in range(MAX_OPS_PER_STEP):
+            try:
+                if thread.send_value is None:
+                    # Plain iterators of ops are accepted alongside
+                    # generators; next() covers both.
+                    op = next(thread.gen)
+                else:
+                    op = thread.gen.send(thread.send_value)
+            except StopIteration:
+                self._finish(thread)
+                return
+            except Exception:
+                # Surface app bugs with the thread identity attached.
+                self._finish(thread, crashed=True)
+                raise
+            thread.send_value = None
+            if isinstance(op, Compute):
+                cycles = self._price_compute(thread, op)
+                thread.counters.flops += op.flops
+                thread.counters.compute_cycles += cycles
+                self._run_busy(thread, cycles)
+                return
+            if isinstance(op, Touch):
+                nbytes = op.nbytes if op.nbytes is not None else op.buffer.size
+                priced = self.caches.touch(
+                    thread.pu, op.buffer, nbytes, write=op.write,
+                    counters=thread.counters,
+                )
+                busy = priced.cycles
+                # Sibling compute threads share the core's L1/L2 and
+                # load/store units: interleaved streams defeat line reuse,
+                # so the latency portion scales and the extra refetches
+                # surface as additional L3 misses (the miss inflation of
+                # the native rows in Tables II-IV).
+                if thread.kind == "compute" and self._sibling_compute_active(thread):
+                    busy *= self.model.ht_contention
+                    extra = self.model.ht_contention - 1.0
+                    thread.counters.l3_misses += (
+                        priced.miss_bytes / self.model.cache_line * extra
+                    )
+                    thread.counters.stalled_cycles += (
+                        priced.miss_cycles * extra * self.model.stall_fraction
+                    )
+                if priced.miss_bytes > 0:
+                    # FIFO service at the home node's memory controller:
+                    # the touch cannot complete before the node has
+                    # delivered the missed bytes.
+                    horizon = self.memory.reserve_bandwidth(
+                        priced.home_numa, priced.miss_bytes, self.engine.now
+                    )
+                    queued = horizon - self.engine.now - busy
+                    if queued > 0:
+                        busy += queued
+                        thread.counters.stalled_cycles += (
+                            queued * self.model.stall_fraction
+                        )
+                        thread.counters.memory_cycles += queued
+                self._run_busy(thread, busy)
+                return
+            if isinstance(op, Wait):
+                event = op.event
+                if event.try_consume():
+                    continue
+                thread.state = "blocked"
+                thread.waiting_on = event
+                event.waiters.append(thread)
+                self._trace("block", thread, event.name)
+                self._release_pu(thread)
+                self._dispatch()
+                return
+            if isinstance(op, Spawn):
+                target = op.thread
+                if target.state in ("new", "unstarted"):
+                    self._make_ready(target)
+                continue
+            if isinstance(op, YieldCPU):
+                self._requeue(thread)
+                return
+            raise SimulationError(f"{thread.name} yielded unknown op {op!r}")
+        raise SimulationError(
+            f"{thread.name} issued {MAX_OPS_PER_STEP} untimed ops — livelock?"
+        )
+
+    def _price_compute(self, thread: SimThread, op: Compute) -> float:
+        cycles = op.flops * self.model.cycles_per_flop / op.efficiency
+        # SMT contention bites when two *compute* threads share a core;
+        # light control threads neither suffer nor inflict it (the paper's
+        # rationale for reserving siblings for control).
+        if thread.kind == "compute" and self._sibling_compute_active(thread):
+            cycles *= self.model.ht_contention
+        if thread.cpuset is None and self.model.os_jitter > 0:
+            jitter = self._rng.uniform(-self.model.os_jitter, self.model.os_jitter)
+            cycles *= 1.0 + jitter
+        return cycles
+
+    def _sibling_compute_active(self, thread: SimThread) -> bool:
+        if thread.pu is None:
+            return False
+        for sib in self._sibling_pus[thread.pu]:
+            other = self.scheduler.thread_on(sib)
+            if other is not None and other.kind == "compute":
+                return True
+        return False
+
+    def _run_busy(self, thread: SimThread, cycles: float, *, resumed: bool = False) -> None:
+        """Occupy the PU for *cycles*, chopped at the timeslice boundary."""
+        if cycles <= 0.0:
+            thread.pending_busy = 0.0
+            self._step(thread)
+            return
+        remaining_slice = self.model.timeslice_cycles - thread.slice_used
+        chunk = min(cycles, remaining_slice)
+        thread.pending_busy = cycles - chunk
+        thread.counters.busy_cycles += chunk
+        self.engine.schedule(chunk, lambda: self._busy_done(thread, chunk))
+
+    def _busy_done(self, thread: SimThread, chunk: float) -> None:
+        thread.slice_used += chunk
+        at_boundary = thread.slice_used >= self.model.timeslice_cycles - 1e-9
+        if not at_boundary:
+            if thread.pending_busy > 0:
+                self._run_busy(thread, thread.pending_busy, resumed=True)
+            else:
+                self._step(thread)
+            return
+        # Quantum expired: account a slice and decide preemption/migration.
+        thread.slices_run += 1
+        thread.slice_used = 0.0
+        rebalance_due = (
+            thread.cpuset is None
+            and thread.slices_run % self.model.rebalance_slices == 0
+        )
+        contender = self._contender_for(thread.pu)
+        if rebalance_due or contender:
+            thread.needs_rebalance = rebalance_due
+            self._requeue(thread)
+            return
+        if thread.pending_busy > 0:
+            self._run_busy(thread, thread.pending_busy, resumed=True)
+        else:
+            self._step(thread)
+
+    def _contender_for(self, pu: int | None) -> bool:
+        if pu is None:
+            return False
+        for t in self._ready:
+            if t.cpuset is None or pu in t.cpuset:
+                return True
+        return False
+
+    def _requeue(self, thread: SimThread) -> None:
+        self._trace("preempt", thread)
+        self._release_pu(thread)
+        self._make_ready(thread)
+        self._dispatch()
+
+    def _finish(self, thread: SimThread, *, crashed: bool = False) -> None:
+        thread.state = "done"
+        self._trace("crash" if crashed else "done", thread)
+        if thread.pu is not None:
+            self._release_pu(thread)
+        self._dispatch()
+
+    # -- convenience --------------------------------------------------------------
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def threads_by_kind(self, kind: str) -> Iterable[SimThread]:
+        return (t for t in self.threads if t.kind == kind)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<SimMachine {self.topology.name} t={self.engine.now:.3g}cy "
+            f"threads={len(self.threads)}>"
+        )

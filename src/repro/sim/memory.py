@@ -1,0 +1,142 @@
+"""NUMA memory model: buffers, first-touch homing, distance-priced misses.
+
+Every simulated allocation is a :class:`Buffer`. Its *home* NUMA node is
+fixed by the first thread that touches it (Linux first-touch policy) —
+this is what makes the OpenMP master-allocates pattern a NUMA hotspot and
+what lets bound ORWL tasks keep their locations local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.params import CostModel
+from repro.topology.distance import LOCAL_DISTANCE, numa_distance_matrix
+from repro.topology.tree import Topology
+
+__all__ = ["Buffer", "MemorySystem"]
+
+
+@dataclass(eq=False)
+class Buffer:
+    """A simulated allocation.
+
+    ``home_numa`` is ``None`` until first touch. ``data`` optionally holds
+    a real numpy array when the application runs in data-execution mode;
+    the simulator itself never reads it.
+    """
+
+    buf_id: int
+    size: int
+    label: str = ""
+    home_numa: int | None = None
+    data: Any = None
+    meta: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Buffer #{self.buf_id} {self.label!r} {self.size}B "
+            f"home={self.home_numa}>"
+        )
+
+
+class MemorySystem:
+    """Prices cache-line fetches from DRAM according to NUMA distance."""
+
+    def __init__(self, topology: Topology, model: CostModel) -> None:
+        self.topology = topology
+        self.model = model
+        self.distance = numa_distance_matrix(topology)
+        self._buffers: list[Buffer] = []
+        self._node_free_at: dict[int, float] = {
+            i: 0.0 for i in range(self.distance.shape[0])
+        }
+        # pu os_index -> numa logical index
+        self._pu_numa: dict[int, int] = {}
+        for numa_idx, numa in enumerate(topology.numa_nodes):
+            for pu in numa.leaves():
+                self._pu_numa[pu.os_index] = numa_idx
+        if not self._pu_numa:
+            raise SimulationError("topology has no NUMA-homed PUs")
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(
+        self,
+        size: int,
+        label: str = "",
+        *,
+        home_numa: int | None = None,
+        data: Any = None,
+    ) -> Buffer:
+        """Create a buffer. ``home_numa`` pre-homes it (bypass first touch)."""
+        if size <= 0:
+            raise SimulationError(f"buffer size must be positive, got {size}")
+        n_numa = self.distance.shape[0]
+        if home_numa is not None and not 0 <= home_numa < n_numa:
+            raise SimulationError(f"home_numa {home_numa} outside [0, {n_numa})")
+        buf = Buffer(len(self._buffers), int(size), label, home_numa, data)
+        self._buffers.append(buf)
+        return buf
+
+    @property
+    def buffers(self) -> list[Buffer]:
+        return list(self._buffers)
+
+    # -- placement queries -----------------------------------------------------
+
+    def numa_of_pu(self, pu: int) -> int:
+        try:
+            return self._pu_numa[pu]
+        except KeyError:
+            raise SimulationError(f"unknown PU {pu}") from None
+
+    def first_touch(self, buf: Buffer, pu: int) -> int:
+        """Home *buf* on the toucher's node if not yet homed; return home."""
+        if buf.home_numa is None:
+            buf.home_numa = self.numa_of_pu(pu)
+        return buf.home_numa
+
+    # -- cost ---------------------------------------------------------------------
+
+    def miss_cycles_per_line(self, accessor_numa: int, home_numa: int) -> float:
+        """Cycles to fetch one cache line of a missed buffer.
+
+        Local misses pay DRAM latency divided by memory-level parallelism;
+        remote misses scale by SLIT distance and add an interconnect
+        bandwidth term per byte.
+        """
+        d = self.distance[accessor_numa, home_numa]
+        latency = self.model.mem_cycles_local * (d / LOCAL_DISTANCE)
+        if accessor_numa != home_numa:
+            latency += self.model.interconnect_cycles_per_byte * self.model.cache_line
+        return latency / self.model.mem_parallelism
+
+    def is_remote(self, accessor_numa: int, home_numa: int) -> bool:
+        return accessor_numa != home_numa
+
+    # -- memory-controller contention -------------------------------------------
+
+    def reserve_bandwidth(
+        self, home_numa: int, miss_bytes: float, now: float
+    ) -> float:
+        """Reserve FIFO service for *miss_bytes* at *home_numa*'s controller.
+
+        Returns the absolute cycle time at which the node will have
+        delivered these bytes. The controller serves at
+        ``node_bandwidth_cyc_per_byte`` regardless of how many threads
+        pull from it, so aggregate throughput to one node is hard-capped —
+        a thread's touch completes no earlier than this horizon.
+        """
+        if miss_bytes <= 0:
+            return now
+        service = miss_bytes * self.model.node_bandwidth_cyc_per_byte
+        start = max(now, self._node_free_at[home_numa])
+        end = start + service
+        self._node_free_at[home_numa] = end
+        return end
+
+    def node_free_at(self, home_numa: int) -> float:
+        return self._node_free_at[home_numa]

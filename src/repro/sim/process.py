@@ -1,0 +1,152 @@
+"""Simulated-thread protocol: the ops a thread generator may yield.
+
+A simulated thread is a Python generator. Each ``yield`` hands the machine
+an *operation*; the machine prices it against the cost model, advances
+virtual time, and resumes the generator (with a value for ops that return
+one). This cooperative protocol is how application code "runs" on the
+simulated machine without real OS threads — the GIL substitution described
+in DESIGN.md.
+
+Ops
+---
+``Compute(flops)``           burn CPU.
+``Touch(buffer, nbytes, write=)``  access memory through the cache model.
+``Wait(event)``              block until the event is signalled.
+``Spawn(thread)``            start another simulated thread.
+``YieldCPU()``               give the PU up voluntarily (re-queue).
+
+Synchronisation uses :class:`SimEvent` — a counting event: ``signal()``
+increments, a waiting thread consumes one count per wait.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+from repro.sim.counters import Counters
+from repro.util.bitmap import Bitmap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.memory import Buffer
+
+__all__ = [
+    "Compute",
+    "Touch",
+    "Wait",
+    "Spawn",
+    "YieldCPU",
+    "SimEvent",
+    "SimThread",
+    "ThreadGen",
+]
+
+ThreadGen = Generator["Op", Any, None]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Burn ``flops`` floating-point operations on the current PU.
+
+    ``efficiency`` scales throughput relative to the machine's base
+    ``cycles_per_flop`` (e.g. a DGEMM inner kernel runs at >1).
+    """
+
+    flops: float
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.efficiency <= 0:
+            raise SimulationError("flops must be >= 0 and efficiency > 0")
+
+
+@dataclass(frozen=True)
+class Touch:
+    """Stream ``nbytes`` of ``buffer`` through the cache hierarchy."""
+
+    buffer: "Buffer"
+    nbytes: float | None = None  # None = whole buffer
+    write: bool = False
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Block until ``event`` has a pending count."""
+
+    event: "SimEvent"
+
+
+@dataclass(frozen=True)
+class Spawn:
+    """Start another (already-registered) simulated thread."""
+
+    thread: "SimThread"
+
+
+@dataclass(frozen=True)
+class YieldCPU:
+    """Voluntarily release the PU (cooperative yield)."""
+
+
+Op = Compute | Touch | Wait | Spawn | YieldCPU
+
+
+class SimEvent:
+    """A counting event: each :meth:`signal` releases one waiter.
+
+    Events created through :meth:`repro.sim.machine.SimMachine.event`
+    carry a notify hook so that a ``signal()`` issued from inside a
+    running thread wakes waiters via the engine (never reentrantly).
+    """
+
+    __slots__ = ("name", "count", "waiters", "_notify")
+
+    def __init__(self, name: str = "", count: int = 0, notify=None) -> None:
+        if count < 0:
+            raise SimulationError("initial count must be >= 0")
+        self.name = name
+        self.count = count
+        self.waiters: list[SimThread] = []
+        self._notify = notify
+
+    def signal(self, n: int = 1) -> None:
+        if n <= 0:
+            raise SimulationError("signal count must be positive")
+        self.count += n
+        if self._notify is not None and self.waiters:
+            self._notify(self)
+
+    def try_consume(self) -> bool:
+        if self.count > 0:
+            self.count -= 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<SimEvent {self.name!r} count={self.count} waiters={len(self.waiters)}>"
+
+
+@dataclass(eq=False)
+class SimThread:
+    """Machine-side record of one simulated thread."""
+
+    tid: int
+    name: str
+    gen: ThreadGen
+    kind: str = "compute"  # "compute" | "control"
+    cpuset: Bitmap | None = None  # None = unbound (OS decides)
+    state: str = "new"  # new | ready | running | blocked | done
+    pu: int | None = None  # PU currently (or last) hosting the thread
+    last_pu: int | None = None
+    counters: Counters = field(default_factory=Counters)
+    send_value: Any = None
+    slices_run: int = 0
+    slice_used: float = 0.0
+    pending_busy: float = 0.0
+    needs_rebalance: bool = False
+    waiting_on: SimEvent | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<SimThread {self.tid} {self.name!r} {self.state} pu={self.pu}>"

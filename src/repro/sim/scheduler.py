@@ -1,0 +1,148 @@
+"""OS scheduler models for the simulated machine.
+
+Bound threads (a cpuset from the affinity module or a baseline strategy)
+only ever run inside their cpuset — zero migrations for singleton sets,
+like a real `pthread_setaffinity`. Unbound threads are placed by one of
+two policies reproducing the behaviours the paper observed on its
+testbeds (Sec. VI-B.1):
+
+``consolidate`` (Linux 3.10 / SMP12E5)
+    prefer the lowest-numbered free PU — packs threads onto few NUMA
+    nodes *including hyperthread siblings*.
+``spread`` (Linux 2.6.32 / SMP20E7)
+    prefer a free PU on the NUMA node currently running the fewest
+    threads — spreads work over all nodes regardless of affinity.
+
+Unbound threads are also periodically *rebalanced*: every
+``rebalance_slices`` quanta their placement is recomputed from scratch,
+which is what generates CPU migrations (and the cache-cold penalties that
+follow them) in the native, non-affinity runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.memory import MemorySystem
+from repro.sim.process import SimThread
+from repro.topology.tree import Topology
+
+__all__ = ["OSScheduler"]
+
+
+class OSScheduler:
+    """Chooses a PU for each ready thread; tracks per-node load."""
+
+    POLICIES = ("consolidate", "spread")
+
+    def __init__(
+        self,
+        topology: Topology,
+        memory: MemorySystem,
+        *,
+        policy: str | None = None,
+        rng=None,
+        migrate_prob: float = 0.0,
+        wakeup_migrate_prob: float = 0.0,
+    ) -> None:
+        policy = policy or str(topology.root.attrs.get("os_policy", "consolidate"))
+        if policy not in self.POLICIES:
+            raise SimulationError(
+                f"unknown OS policy {policy!r}; known: {self.POLICIES}"
+            )
+        self.policy = policy
+        self.topology = topology
+        self.memory = memory
+        self._rng = rng
+        self.migrate_prob = migrate_prob
+        self.wakeup_migrate_prob = wakeup_migrate_prob
+        self._all_pus = [pu.os_index for pu in topology.pus]
+        self._busy: dict[int, SimThread | None] = {p: None for p in self._all_pus}
+        self._node_load: dict[int, int] = {
+            i: 0 for i in range(len(topology.numa_nodes))
+        }
+
+    # -- occupancy bookkeeping (machine calls these) -----------------------------
+
+    def occupy(self, pu: int, thread: SimThread) -> None:
+        if self._busy[pu] is not None:
+            raise SimulationError(f"PU {pu} already busy")
+        self._busy[pu] = thread
+        self._node_load[self.memory.numa_of_pu(pu)] += 1
+
+    def release(self, pu: int) -> None:
+        if self._busy[pu] is None:
+            raise SimulationError(f"PU {pu} is not busy")
+        self._busy[pu] = None
+        self._node_load[self.memory.numa_of_pu(pu)] -= 1
+
+    def thread_on(self, pu: int) -> SimThread | None:
+        return self._busy.get(pu)
+
+    def is_free(self, pu: int) -> bool:
+        return self._busy[pu] is None
+
+    @property
+    def free_pus(self) -> list[int]:
+        return [p for p in self._all_pus if self._busy[p] is None]
+
+    # -- placement ------------------------------------------------------------------
+
+    def place(self, thread: SimThread, *, rebalance: bool = False) -> int | None:
+        """Pick a PU for *thread*, or None when no allowed PU is free.
+
+        Sticky by default (reuse ``last_pu`` when free); a *rebalance* call
+        ignores stickiness and re-applies the policy, which may migrate the
+        thread.
+        """
+        if thread.cpuset is not None:
+            candidates = [p for p in thread.cpuset if self._busy.get(p) is None]
+        else:
+            candidates = self.free_pus
+        if not candidates:
+            return None
+        if not rebalance and thread.last_pu in candidates:
+            # Sticky placement — except that the OS occasionally wake-
+            # balances unbound threads onto the policy's preferred PU.
+            if (
+                thread.cpuset is None
+                and self._rng is not None
+                and self.wakeup_migrate_prob > 0.0
+                and self._rng.random() < self.wakeup_migrate_prob
+            ):
+                pass  # fall through to the policy choice below
+            else:
+                return thread.last_pu
+        if thread.cpuset is not None:
+            # Bound threads keep cpuset order (deterministic, no policy).
+            return candidates[0]
+        if thread.last_pu is None and self.policy == "consolidate":
+            # Fork placement under the consolidating kernel (Linux 3.10):
+            # a new thread starts near its parent (the main thread on
+            # node 0) and is only balanced away later — which is why
+            # native runs first-touch their data on the low nodes. The
+            # old spreading kernel (2.6.32) distributes at fork already.
+            first_node = min(
+                self.memory.numa_of_pu(p) for p in candidates
+            )
+            near = [
+                p for p in candidates if self.memory.numa_of_pu(p) == first_node
+            ]
+            return min(near)
+        if (
+            rebalance
+            and self._rng is not None
+            and self.migrate_prob > 0.0
+            and len(candidates) > 1
+            and self._rng.random() < self.migrate_prob
+        ):
+            # Model CFS load-balancing churn: an actual move to some other
+            # eligible PU, not the policy's first choice.
+            others = [p for p in candidates if p != thread.last_pu]
+            return int(others[self._rng.integers(0, len(others))])
+        if self.policy == "consolidate":
+            return min(candidates)
+        # spread: least-loaded NUMA node, lowest PU within it.
+        def node_key(p: int) -> tuple[int, int]:
+            return (self._node_load[self.memory.numa_of_pu(p)], p)
+
+        return min(candidates, key=node_key)

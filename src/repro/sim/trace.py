@@ -1,0 +1,83 @@
+"""Optional execution trace for debugging and ordering assertions.
+
+Enabled with ``SimMachine(..., trace=True)``; every scheduling transition
+is recorded as ``(time_cycles, tid, tag, detail)`` where tag is one of
+``ready``, ``run``, ``block``, ``preempt``, ``done``, ``crash``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    tid: int
+    tag: str
+    detail: str = ""
+
+
+class Trace:
+    """An append-only list of scheduling transitions."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def record(self, time: float, tid: int, tag: str, detail: str = "") -> None:
+        self.records.append(TraceRecord(time, tid, tag, detail))
+
+    def for_thread(self, tid: int) -> list[TraceRecord]:
+        return [r for r in self.records if r.tid == tid]
+
+    def with_tag(self, tag: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.tag == tag]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def gantt(
+        self,
+        *,
+        names: dict[int, str] | None = None,
+        width: int = 80,
+        max_threads: int = 40,
+    ) -> str:
+        """ASCII Gantt chart: one row per thread, '#' while running.
+
+        Time is bucketed into *width* columns between the first and last
+        record; a bucket is marked if the thread was in the running state
+        at any point inside it.
+        """
+        if not self.records:
+            return "(empty trace)"
+        t0 = self.records[0].time
+        t1 = max(r.time for r in self.records)
+        span = (t1 - t0) or 1.0
+        tids = sorted({r.tid for r in self.records if r.tid >= 0})[:max_threads]
+        rows = []
+        for tid in tids:
+            cells = [" "] * width
+            running_since: float | None = None
+            for r in self.for_thread(tid):
+                if r.tag == "run":
+                    running_since = r.time
+                elif r.tag in ("block", "preempt", "done", "crash"):
+                    if running_since is not None:
+                        lo = int((running_since - t0) / span * (width - 1))
+                        hi = int((r.time - t0) / span * (width - 1))
+                        for c in range(lo, hi + 1):
+                            cells[c] = "#"
+                        running_since = None
+            if running_since is not None:
+                lo = int((running_since - t0) / span * (width - 1))
+                for c in range(lo, width):
+                    cells[c] = "#"
+            label = (names or {}).get(tid, f"t{tid}")
+            rows.append(f"{label:>14.14} |{''.join(cells)}|")
+        return "\n".join(rows)

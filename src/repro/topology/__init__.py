@@ -1,0 +1,43 @@
+"""Portable hardware-topology substrate (the paper's hwloc analogue).
+
+Builds tree-shaped machine descriptions (machine → NUMA node → socket →
+caches → core → PU), exposes hwloc-like traversal and cpuset queries, and
+ships the two testbed presets from Table I of the paper.
+"""
+
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.distance import numa_distance_matrix
+from repro.topology.machines import (
+    fig2_machine,
+    list_machines,
+    machine_by_name,
+    smp12e5,
+    smp12e5_4s,
+    smp20e7,
+    smp20e7_4s,
+)
+from repro.topology.objects import CacheAttrs, ObjType, TopoObject
+from repro.topology.render import render_ascii, render_mapping
+from repro.topology.serialize import topology_from_dict, topology_to_dict
+from repro.topology.tree import Topology
+
+__all__ = [
+    "ObjType",
+    "TopoObject",
+    "CacheAttrs",
+    "Topology",
+    "TopologySpec",
+    "build_topology",
+    "numa_distance_matrix",
+    "smp12e5",
+    "smp20e7",
+    "smp12e5_4s",
+    "smp20e7_4s",
+    "fig2_machine",
+    "machine_by_name",
+    "list_machines",
+    "render_ascii",
+    "render_mapping",
+    "topology_to_dict",
+    "topology_from_dict",
+]

@@ -1,0 +1,46 @@
+"""CPU-binding helpers (the hwloc ``set_cpubind`` analogue).
+
+A binding is simply a cpuset :class:`~repro.util.bitmap.Bitmap` that the
+simulated OS scheduler must honour. The helpers here validate cpusets
+against a topology and implement hwloc's ``singlify`` (pick one PU out of
+a set, used for strict one-thread-per-core binding).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BindingError
+from repro.topology.objects import ObjType, TopoObject
+from repro.topology.tree import Topology
+from repro.util.bitmap import Bitmap
+
+__all__ = ["validate_cpuset", "singlify", "cpuset_of", "full_cpuset"]
+
+
+def full_cpuset(topology: Topology) -> Bitmap:
+    """The set of every PU in the machine (the "unbound" cpuset)."""
+    return topology.root.cpuset
+
+
+def validate_cpuset(topology: Topology, cpuset: Bitmap) -> Bitmap:
+    """Check *cpuset* is non-empty and within the machine; return it."""
+    if not cpuset:
+        raise BindingError("empty cpuset")
+    if not cpuset.issubset(topology.root.cpuset):
+        extra = cpuset - topology.root.cpuset
+        raise BindingError(f"cpuset references unknown PUs: {extra.to_list()}")
+    return cpuset
+
+
+def singlify(cpuset: Bitmap) -> Bitmap:
+    """Reduce *cpuset* to its first PU (hwloc_bitmap_singlify)."""
+    first = cpuset.first()
+    if first < 0:
+        raise BindingError("cannot singlify an empty cpuset")
+    return Bitmap.single(first)
+
+
+def cpuset_of(obj: TopoObject) -> Bitmap:
+    """Cpuset of a topology object, with a helpful error for PU-less nodes."""
+    if not obj.cpuset and obj.type is not ObjType.PU:
+        raise BindingError(f"{obj!r} covers no PUs")
+    return obj.cpuset

@@ -1,0 +1,132 @@
+"""Synthetic topology builder.
+
+:class:`TopologySpec` describes a regular machine (the only kind the paper's
+testbeds are): optional blade groups, NUMA nodes, sockets, shared L3 per
+socket, per-core L2/L1, cores, and PUs per core (hyperthreads). The builder
+emits a finalized :class:`~repro.topology.tree.Topology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.topology.objects import CacheAttrs, ObjType, TopoObject
+from repro.topology.tree import Topology
+from repro.util.units import parse_size
+
+__all__ = ["TopologySpec", "build_topology"]
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Shape and performance parameters of a synthetic machine.
+
+    Structural parameters give the count of children at each level;
+    performance parameters (clock, interconnect bandwidth, latencies) are
+    stored as attributes on the machine object and consumed by the
+    simulator's cost model.
+    """
+
+    name: str
+    groups: int = 1  # blades / NUMAlink routers (0 ⇒ omit level)
+    numa_per_group: int = 1
+    sockets_per_numa: int = 1
+    cores_per_socket: int = 8
+    pus_per_core: int = 1
+    l3: str | int = "20480K"
+    l2: str | int = "256K"
+    l1: str | int = "32K"
+    cache_line: int = 64
+    clock_hz: float = 2.6e9
+    interconnect_gbps: float = 6.5  # NUMAlink bandwidth, GB/s
+    memory_per_numa: str | int = "32G"
+    os_policy: str = "consolidate"  # default OS scheduler behaviour
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for fname in (
+            "groups",
+            "numa_per_group",
+            "sockets_per_numa",
+            "cores_per_socket",
+            "pus_per_core",
+        ):
+            if getattr(self, fname) < 1:
+                raise TopologyError(f"{fname} must be >= 1")
+        if self.clock_hz <= 0 or self.interconnect_gbps <= 0:
+            raise TopologyError("clock_hz and interconnect_gbps must be > 0")
+        if self.os_policy not in ("consolidate", "spread"):
+            raise TopologyError(f"unknown os_policy {self.os_policy!r}")
+
+    @property
+    def n_numa(self) -> int:
+        return self.groups * self.numa_per_group
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_numa * self.sockets_per_numa * self.cores_per_socket
+
+    @property
+    def n_pus(self) -> int:
+        return self.n_cores * self.pus_per_core
+
+
+def build_topology(spec: TopologySpec) -> Topology:
+    """Materialize *spec* into a finalized topology tree.
+
+    The emitted level structure is::
+
+        Machine [→ Group]* → NUMANode → Package → L3 → L2 → L1 → Core → PU
+
+    L2/L1 are private per core; as in hwloc they sit immediately above the
+    core they serve, which keeps the tree balanced with uniform arities.
+    """
+    machine = TopoObject(
+        ObjType.MACHINE,
+        name=spec.name,
+        attrs={
+            "clock_hz": spec.clock_hz,
+            "interconnect_gbps": spec.interconnect_gbps,
+            "os_policy": spec.os_policy,
+            **dict(spec.attrs),
+        },
+    )
+    l3 = CacheAttrs(parse_size(spec.l3), line=spec.cache_line)
+    l2 = CacheAttrs(parse_size(spec.l2), line=spec.cache_line)
+    l1 = CacheAttrs(parse_size(spec.l1), line=spec.cache_line)
+
+    pu_index = 0
+    group_parents: list[TopoObject]
+    if spec.groups > 1:
+        group_parents = [
+            machine.add_child(TopoObject(ObjType.GROUP, name=f"Blade {g}"))
+            for g in range(spec.groups)
+        ]
+    else:
+        group_parents = [machine]
+
+    for group in group_parents:
+        for _ in range(spec.numa_per_group):
+            numa = group.add_child(
+                TopoObject(
+                    ObjType.NUMANODE,
+                    attrs={"memory": parse_size(spec.memory_per_numa)},
+                )
+            )
+            for _ in range(spec.sockets_per_numa):
+                socket = numa.add_child(TopoObject(ObjType.PACKAGE))
+                l3_obj = socket.add_child(TopoObject(ObjType.L3, cache=l3))
+                for _ in range(spec.cores_per_socket):
+                    l2_obj = l3_obj.add_child(TopoObject(ObjType.L2, cache=l2))
+                    l1_obj = l2_obj.add_child(TopoObject(ObjType.L1, cache=l1))
+                    core = l1_obj.add_child(TopoObject(ObjType.CORE))
+                    for _ in range(spec.pus_per_core):
+                        core.add_child(
+                            TopoObject(ObjType.PU, os_index=pu_index)
+                        )
+                        pu_index += 1
+
+    topo = Topology(machine, name=spec.name)
+    topo.spec = spec  # type: ignore[attr-defined]
+    return topo

@@ -1,0 +1,54 @@
+"""NUMA distance matrices.
+
+The SGI NUMAlink interconnect of both testbeds is a tree of routers: the
+latency between two NUMA nodes grows with the number of router hops, i.e.
+with the height of their lowest common ancestor in a (virtual) binary
+router tree over the node ids. We reproduce that with the conventional
+ACPI SLIT scaling: 10 on the diagonal, ``10 + hop_cost * hops`` elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.tree import Topology
+
+__all__ = ["numa_distance_matrix", "router_hops"]
+
+LOCAL_DISTANCE = 10.0
+
+
+def router_hops(a: int, b: int) -> int:
+    """Round-trip router hops between NUMA node ids in a binary router tree.
+
+    Nodes paired under one router are 1 hop apart; each extra tree level
+    adds one hop in each direction.
+
+    >>> router_hops(0, 1)
+    1
+    >>> router_hops(0, 2)
+    2
+    >>> router_hops(0, 4)
+    3
+    """
+    if a == b:
+        return 0
+    return (a ^ b).bit_length()
+
+
+def numa_distance_matrix(topology: Topology, *, hop_cost: float = 5.0) -> np.ndarray:
+    """SLIT-style distance matrix over the topology's NUMA nodes.
+
+    Entry ``[i, j]`` is relative memory-access latency from node *i* to
+    memory homed on node *j* (diagonal = 10, symmetric).
+    """
+    n = len(topology.numa_nodes)
+    if n == 0:
+        raise TopologyError("topology has no NUMA nodes")
+    dist = np.full((n, n), LOCAL_DISTANCE)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                dist[i, j] = LOCAL_DISTANCE + hop_cost * router_hops(i, j)
+    return dist

@@ -1,0 +1,168 @@
+"""Machine presets.
+
+``smp12e5``/``smp20e7`` reconstruct Table I of the paper; ``fig2_machine``
+is the 4-socket, 2-blade, 32-core machine of Fig. 2 ("similar to the one
+used in Table I") on which the video-tracking allocation is drawn.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import TopologyError
+from repro.topology.builder import TopologySpec, build_topology
+from repro.topology.tree import Topology
+
+__all__ = [
+    "smp12e5",
+    "smp20e7",
+    "smp12e5_4s",
+    "smp20e7_4s",
+    "fig2_machine",
+    "machine_by_name",
+    "list_machines",
+]
+
+
+def smp12e5() -> Topology:
+    """SMP12E5 (Table I): 12 NUMA nodes × 1 socket × 8 cores, hyperthreaded.
+
+    Xeon E5-4620 at 2.6 GHz, 32K L1 / 256K L2 / 20480K L3, NUMAlink6 at
+    6.5 GB/s, Linux 3.10 whose scheduler *consolidates* threads onto few
+    NUMA nodes (observed in Sec. VI-B.1 of the paper).
+    """
+    return build_topology(
+        TopologySpec(
+            name="SMP12E5",
+            groups=1,
+            numa_per_group=12,
+            sockets_per_numa=1,
+            cores_per_socket=8,
+            pus_per_core=2,
+            l3="20480K",
+            l2="256K",
+            l1="32K",
+            clock_hz=2.6e9,
+            interconnect_gbps=6.5,
+            os_policy="consolidate",
+            attrs={
+                "socket_model": "E5-4620",
+                "kernel": "3.10.0",
+                "os": "Red Hat 4.8.3-9",
+                "interconnect": "NUMAlink6",
+            },
+        )
+    )
+
+
+def smp20e7() -> Topology:
+    """SMP20E7 (Table I): 20 NUMA nodes × 1 socket × 8 cores, no HT.
+
+    Xeon E7-8837 at 2.66 GHz, 32K L1 / 32K L2 / 24576K L3, NUMAlink5 at
+    15 GB/s, Linux 2.6.32 whose scheduler *spreads* threads evenly over the
+    20 NUMA nodes (Sec. VI-B.1).
+    """
+    return build_topology(
+        TopologySpec(
+            name="SMP20E7",
+            groups=1,
+            numa_per_group=20,
+            sockets_per_numa=1,
+            cores_per_socket=8,
+            pus_per_core=1,
+            l3="24576K",
+            l2="32K",
+            l1="32K",
+            clock_hz=2.66e9,
+            interconnect_gbps=15.0,
+            os_policy="spread",
+            attrs={
+                "socket_model": "E7-8837",
+                "kernel": "2.6.32.46",
+                "os": "SUSE Server 11",
+                "interconnect": "NUMAlink5",
+            },
+        )
+    )
+
+
+def smp12e5_4s() -> Topology:
+    """A 4-socket (30-core-class) slice of SMP12E5 — the hardware budget
+    the video-tracking experiment of Fig. 6 restricts itself to."""
+    return build_topology(
+        TopologySpec(
+            name="SMP12E5-4S",
+            numa_per_group=4,
+            cores_per_socket=8,
+            pus_per_core=2,
+            l3="20480K",
+            l2="256K",
+            l1="32K",
+            clock_hz=2.6e9,
+            interconnect_gbps=6.5,
+            os_policy="consolidate",
+        )
+    )
+
+
+def smp20e7_4s() -> Topology:
+    """A 4-socket slice of SMP20E7 (no hyperthreading), for Fig. 6."""
+    return build_topology(
+        TopologySpec(
+            name="SMP20E7-4S",
+            numa_per_group=4,
+            cores_per_socket=8,
+            pus_per_core=1,
+            l3="24576K",
+            l2="32K",
+            l1="32K",
+            clock_hz=2.66e9,
+            interconnect_gbps=15.0,
+            os_policy="spread",
+        )
+    )
+
+
+def fig2_machine() -> Topology:
+    """The 2-blade / 4-socket / 32-core machine of Fig. 2 (no HT shown)."""
+    return build_topology(
+        TopologySpec(
+            name="FIG2-4S32C",
+            groups=2,
+            numa_per_group=2,
+            sockets_per_numa=1,
+            cores_per_socket=8,
+            pus_per_core=1,
+            l3="20480K",
+            l2="256K",
+            l1="32K",
+            clock_hz=2.6e9,
+            interconnect_gbps=6.5,
+            os_policy="consolidate",
+        )
+    )
+
+
+_REGISTRY: dict[str, Callable[[], Topology]] = {
+    "SMP12E5": smp12e5,
+    "SMP20E7": smp20e7,
+    "SMP12E5-4S": smp12e5_4s,
+    "SMP20E7-4S": smp20e7_4s,
+    "FIG2-4S32C": fig2_machine,
+}
+
+
+def list_machines() -> list[str]:
+    """Names accepted by :func:`machine_by_name`."""
+    return sorted(_REGISTRY)
+
+
+def machine_by_name(name: str) -> Topology:
+    """Instantiate a preset by (case-insensitive) name."""
+    key = name.upper()
+    try:
+        return _REGISTRY[key]()
+    except KeyError:
+        raise TopologyError(
+            f"unknown machine {name!r}; known: {', '.join(list_machines())}"
+        ) from None

@@ -1,0 +1,118 @@
+"""Topology object types — the nodes of the hardware tree.
+
+Mirrors hwloc's object model: every node carries a type, a logical index
+(rank among same-type siblings in tree order), a cpuset of the PUs beneath
+it, and optional type-specific attributes (cache geometry, memory size).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import TopologyError
+from repro.util.bitmap import Bitmap
+
+__all__ = ["ObjType", "CacheAttrs", "TopoObject"]
+
+
+class ObjType(enum.Enum):
+    """Hardware object kinds, ordered from outermost to innermost."""
+
+    MACHINE = "Machine"
+    GROUP = "Group"  # blades / NUMAlink routers
+    NUMANODE = "NUMANode"
+    PACKAGE = "Package"  # a socket
+    L3 = "L3"
+    L2 = "L2"
+    L1 = "L1"
+    CORE = "Core"
+    PU = "PU"  # hardware thread
+
+    @property
+    def is_cache(self) -> bool:
+        return self in (ObjType.L3, ObjType.L2, ObjType.L1)
+
+
+#: Canonical outer-to-inner ordering used to validate tree construction.
+TYPE_ORDER: dict[ObjType, int] = {t: i for i, t in enumerate(ObjType)}
+
+
+@dataclass(frozen=True)
+class CacheAttrs:
+    """Cache geometry. ``size`` in bytes, ``line`` in bytes."""
+
+    size: int
+    line: int = 64
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.line <= 0:
+            raise TopologyError("cache size and line must be positive")
+
+
+@dataclass(eq=False)
+class TopoObject:
+    """One node in a hardware topology tree.
+
+    Identity semantics (``eq=False``): two distinct sockets with identical
+    shape are still different objects.
+    """
+
+    type: ObjType
+    logical_index: int = 0
+    os_index: int = -1
+    name: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+    cache: CacheAttrs | None = None
+    children: list[TopoObject] = field(default_factory=list)
+    parent: TopoObject | None = field(default=None, repr=False)
+    cpuset: Bitmap = field(default_factory=Bitmap)
+    depth: int = 0
+
+    def add_child(self, child: TopoObject) -> TopoObject:
+        if TYPE_ORDER[child.type] <= TYPE_ORDER[self.type]:
+            raise TopologyError(
+                f"cannot nest {child.type.value} under {self.type.value}"
+            )
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- ancestry ----------------------------------------------------------
+
+    def ancestors(self) -> list[TopoObject]:
+        """Chain of ancestors from parent up to the machine root."""
+        out: list[TopoObject] = []
+        node = self.parent
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        return out
+
+    def ancestor_of_type(self, obj_type: ObjType) -> TopoObject | None:
+        for anc in self.ancestors():
+            if anc.type is obj_type:
+                return anc
+        return None
+
+    def descendants(self) -> list[TopoObject]:
+        """All strict descendants in depth-first pre-order."""
+        out: list[TopoObject] = []
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(reversed(node.children))
+        return out
+
+    def leaves(self) -> list[TopoObject]:
+        """The PUs beneath this object (or itself if it is a PU)."""
+        if not self.children:
+            return [self]
+        return [d for d in self.descendants() if not d.children]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = f"#{self.os_index}" if self.os_index >= 0 else f"L{self.logical_index}"
+        return f"<{self.type.value}{tag} cpuset={self.cpuset.to_list()!r}>"

@@ -1,0 +1,46 @@
+"""``AggregateComMatrix`` — collapse an affinity matrix onto groups.
+
+After grouping at a tree level, the next level up sees each group as one
+entity; the aggregated matrix entry ``[gi, gj]`` is the total affinity
+between the members of group *gi* and group *gj*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.util.matrix import check_square
+
+__all__ = ["aggregate_comm_matrix"]
+
+
+def aggregate_comm_matrix(m: np.ndarray, groups: list[list[int]]) -> np.ndarray:
+    """Aggregate *m* over *groups*; returns a ``k × k`` matrix.
+
+    Every process index must appear in exactly one group.
+    """
+    a = check_square(m, name="affinity matrix")
+    p = a.shape[0]
+    seen: set[int] = set()
+    for g in groups:
+        for i in g:
+            if not 0 <= i < p:
+                raise MappingError(f"group member {i} outside order {p}")
+            if i in seen:
+                raise MappingError(f"process {i} appears in two groups")
+            seen.add(i)
+    if len(seen) != p:
+        raise MappingError(
+            f"groups cover {len(seen)} of {p} processes"
+        )
+
+    k = len(groups)
+    out = np.zeros((k, k))
+    for gi in range(k):
+        idx_i = np.asarray(groups[gi], dtype=np.intp)
+        for gj in range(gi + 1, k):
+            idx_j = np.asarray(groups[gj], dtype=np.intp)
+            w = float(a[np.ix_(idx_i, idx_j)].sum())
+            out[gi, gj] = out[gj, gi] = w
+    return out

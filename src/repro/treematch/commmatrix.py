@@ -1,0 +1,146 @@
+"""The communication matrix.
+
+Entry ``[i, j]`` is the number of bytes thread *i* receives from (reads
+that are produced by) thread *j* per iteration. TreeMatch works on the
+symmetrized, zero-diagonal view: total traffic between the pair.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.util.matrix import check_square, submatrix, symmetrize, zero_diagonal
+
+__all__ = ["CommunicationMatrix"]
+
+
+class CommunicationMatrix:
+    """An ``n × n`` thread-to-thread traffic matrix with optional labels."""
+
+    def __init__(
+        self,
+        data: np.ndarray | Sequence[Sequence[float]],
+        labels: Sequence[str] | None = None,
+    ) -> None:
+        self._m = check_square(np.asarray(data, dtype=np.float64),
+                               name="communication matrix")
+        if labels is not None and len(labels) != self.order:
+            raise MappingError(
+                f"{len(labels)} labels for a matrix of order {self.order}"
+            )
+        self.labels: list[str] = (
+            list(labels) if labels is not None
+            else [f"t{i}" for i in range(self.order)]
+        )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Mapping[tuple[int, int], float],
+        labels: Sequence[str] | None = None,
+    ) -> CommunicationMatrix:
+        """Build from sparse ``{(receiver, producer): bytes}`` edges."""
+        m = np.zeros((n, n))
+        for (i, j), w in edges.items():
+            if not (0 <= i < n and 0 <= j < n):
+                raise MappingError(f"edge ({i}, {j}) outside order {n}")
+            if w < 0:
+                raise MappingError(f"negative traffic on edge ({i}, {j})")
+            m[i, j] += w
+        return cls(m, labels)
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        return self._m.shape[0]
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The directed matrix (copy)."""
+        return self._m.copy()
+
+    def affinity(self) -> np.ndarray:
+        """Symmetrized, zero-diagonal traffic — what TreeMatch groups on."""
+        return zero_diagonal(symmetrize(self._m))
+
+    def total_traffic(self) -> float:
+        """Total off-diagonal traffic (both directions)."""
+        return float(self.affinity().sum()) / 2.0
+
+    def restricted(self, indices: Sequence[int]) -> CommunicationMatrix:
+        """Sub-matrix over *indices* (new thread ids follow that order)."""
+        idx = list(indices)
+        return CommunicationMatrix(
+            submatrix(self._m, idx), [self.labels[i] for i in idx]
+        )
+
+    def padded(self, new_order: int) -> CommunicationMatrix:
+        """Zero-pad to *new_order* (dummy threads communicate nothing)."""
+        if new_order < self.order:
+            raise MappingError(
+                f"cannot pad order {self.order} down to {new_order}"
+            )
+        m = np.zeros((new_order, new_order))
+        m[: self.order, : self.order] = self._m
+        labels = self.labels + [
+            f"pad{i}" for i in range(new_order - self.order)
+        ]
+        return CommunicationMatrix(m, labels)
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Render as CSV with a label header row/column."""
+        lines = ["," + ",".join(self.labels)]
+        for i, label in enumerate(self.labels):
+            lines.append(
+                label + "," + ",".join(f"{v:g}" for v in self._m[i])
+            )
+        return "\n".join(lines)
+
+    @classmethod
+    def from_csv(cls, text: str) -> CommunicationMatrix:
+        """Parse the :meth:`to_csv` format."""
+        lines = [ln for ln in text.strip().splitlines() if ln.strip()]
+        if not lines:
+            raise MappingError("empty communication-matrix CSV")
+        labels = lines[0].split(",")[1:]
+        rows = []
+        for ln in lines[1:]:
+            cells = ln.split(",")
+            rows.append([float(v) for v in cells[1:]])
+        if len(rows) != len(labels):
+            raise MappingError(
+                f"CSV has {len(rows)} rows for {len(labels)} labels"
+            )
+        return cls(np.asarray(rows), labels)
+
+    # -- quality metric ---------------------------------------------------------
+
+    def placement_cost(
+        self, placement: Mapping[int, int], hop_depth: Mapping[tuple[int, int], int]
+    ) -> float:
+        """Weighted communication distance of a placement.
+
+        ``hop_depth[(pu_a, pu_b)]`` must give a *distance* (larger = farther)
+        between the PUs; the cost is ``sum traffic(i,j) * distance`` — the
+        objective TreeMatch minimizes.
+        """
+        aff = self.affinity()
+        cost = 0.0
+        for i in range(self.order):
+            for j in range(i + 1, self.order):
+                w = aff[i, j]
+                if w and i in placement and j in placement:
+                    cost += w * hop_depth[(placement[i], placement[j])]
+        return cost
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CommunicationMatrix order={self.order} traffic={self.total_traffic():.3g}>"

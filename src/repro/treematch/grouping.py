@@ -1,0 +1,231 @@
+"""``GroupProcesses`` — partition threads into equal-size affinity groups.
+
+Given the current (symmetric) affinity matrix of order ``p`` and a group
+size ``a`` (the arity of the topology level being processed), produce
+``k = p / a`` disjoint groups maximizing intra-group traffic. As in the
+paper, the engine "goes from an optimal but exponential algorithm to a
+greedy one that is linear" depending on the problem size; a local-search
+refinement pass closes most of the gap for mid-size problems.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.util.matrix import check_square
+
+__all__ = [
+    "group_processes",
+    "group_optimal",
+    "group_greedy",
+    "refine_groups",
+    "partition_count",
+    "intra_group_weight",
+]
+
+#: Exhaustive search is used when the number of candidate partitions is
+#: below this bound (compare `partition_count`).
+OPTIMAL_SEARCH_LIMIT = 20_000
+
+
+def partition_count(p: int, a: int) -> int:
+    """Number of distinct partitions of ``p`` items into groups of size ``a``.
+
+    Counted canonically (lowest unassigned element anchors each group):
+    ``prod_i C(p - i*a - 1, a - 1)``.
+    """
+    if p % a:
+        raise MappingError(f"cannot split {p} processes into groups of {a}")
+    count = 1
+    remaining = p
+    while remaining > 0:
+        count *= comb(remaining - 1, a - 1)
+        remaining -= a
+    return count
+
+
+def intra_group_weight(m: np.ndarray, groups: list[list[int]]) -> float:
+    """Total affinity kept inside groups (the maximization objective)."""
+    total = 0.0
+    for g in groups:
+        for x, i in enumerate(g):
+            for j in g[x + 1 :]:
+                total += m[i, j]
+    return float(total)
+
+
+def group_processes(
+    m: np.ndarray,
+    arity: int,
+    *,
+    force: str | None = None,
+    refine: bool = True,
+) -> list[list[int]]:
+    """Partition the ``order(m)`` processes into groups of size *arity*.
+
+    *force* pins the engine (``"optimal"`` or ``"greedy"``); by default the
+    exhaustive engine is used whenever :func:`partition_count` stays under
+    ``OPTIMAL_SEARCH_LIMIT``. Groups and their members are returned in a
+    canonical order (each group led by its smallest member, groups sorted
+    by leader) so results are deterministic.
+    """
+    a = check_square(m, name="affinity matrix")
+    p = a.shape[0]
+    if arity <= 0:
+        raise MappingError(f"arity must be positive, got {arity}")
+    if p % arity:
+        raise MappingError(f"{p} processes are not divisible into groups of {arity}")
+    if arity == 1:
+        return [[i] for i in range(p)]
+    if arity == p:
+        return [list(range(p))]
+
+    if force == "optimal":
+        groups = group_optimal(a, arity)
+    elif force == "greedy":
+        groups = group_greedy(a, arity)
+        if refine:
+            groups = refine_groups(a, groups)
+    elif force is None:
+        if partition_count(p, arity) <= OPTIMAL_SEARCH_LIMIT:
+            groups = group_optimal(a, arity)
+        else:
+            groups = group_greedy(a, arity)
+            if refine:
+                groups = refine_groups(a, groups)
+    else:
+        raise MappingError(f"unknown grouping engine {force!r}")
+    return _canonical(groups)
+
+
+def _canonical(groups: list[list[int]]) -> list[list[int]]:
+    out = [sorted(g) for g in groups]
+    out.sort(key=lambda g: g[0])
+    return out
+
+
+# -- exhaustive engine ---------------------------------------------------------
+
+
+def group_optimal(m: np.ndarray, arity: int) -> list[list[int]]:
+    """Exhaustive canonical enumeration; maximizes intra-group weight.
+
+    Exponential — guarded by ``OPTIMAL_SEARCH_LIMIT`` in
+    :func:`group_processes`, but callable directly for tests.
+    """
+    p = m.shape[0]
+    best_groups: list[list[int]] | None = None
+    best_weight = -1.0
+
+    def recurse(unassigned: list[int], acc: list[list[int]], weight: float) -> None:
+        nonlocal best_groups, best_weight
+        if not unassigned:
+            if weight > best_weight:
+                best_weight = weight
+                best_groups = [list(g) for g in acc]
+            return
+        anchor = unassigned[0]
+        rest = unassigned[1:]
+        for combo in _combinations(rest, arity - 1):
+            group = [anchor, *combo]
+            w = weight
+            for x, i in enumerate(group):
+                for j in group[x + 1 :]:
+                    w += m[i, j]
+            remaining = [u for u in rest if u not in combo]
+            acc.append(group)
+            recurse(remaining, acc, w)
+            acc.pop()
+
+    recurse(list(range(p)), [], 0.0)
+    assert best_groups is not None
+    return best_groups
+
+
+def _combinations(items: list[int], r: int):
+    # itertools.combinations, local to avoid set-lookup overhead patterns
+    from itertools import combinations
+
+    return combinations(items, r)
+
+
+# -- greedy engine ---------------------------------------------------------------
+
+
+def group_greedy(m: np.ndarray, arity: int) -> list[list[int]]:
+    """Greedy grouping: seed each group with the heaviest unassigned pair,
+    then grow it with the element most attracted to the group.
+
+    Vectorized with a masked copy of the matrix so each seed/grow decision
+    is a single argmax — near-linear in practice.
+    """
+    p = m.shape[0]
+    work = np.array(m, dtype=np.float64)
+    np.fill_diagonal(work, -np.inf)
+    free = np.ones(p, dtype=bool)
+    groups: list[list[int]] = []
+
+    def retire(i: int) -> None:
+        free[i] = False
+        work[i, :] = -np.inf
+        work[:, i] = -np.inf
+
+    while free.any():
+        remaining = int(free.sum())
+        if remaining == arity:
+            groups.append([int(i) for i in np.flatnonzero(free)])
+            break
+        if arity == 1:
+            i = int(np.flatnonzero(free)[0])
+            retire(i)
+            groups.append([i])
+            continue
+        flat = int(np.argmax(work))
+        seed_i, seed_j = divmod(flat, p)
+        group = [seed_i, seed_j]
+        retire(seed_i)
+        retire(seed_j)
+        while len(group) < arity:
+            # Attraction of every free element to the group; mask others out.
+            attract = m[:, group].sum(axis=1)
+            attract[~free] = -np.inf
+            best = int(np.argmax(attract))
+            retire(best)
+            group.append(best)
+        groups.append(group)
+    return groups
+
+
+# -- refinement -------------------------------------------------------------------
+
+
+def refine_groups(
+    m: np.ndarray, groups: list[list[int]], *, max_rounds: int = 4
+) -> list[list[int]]:
+    """Pairwise-swap local search: keep exchanging elements between groups
+    while any swap increases total intra-group weight."""
+    groups = [list(g) for g in groups]
+
+    def gain(ga: list[int], gb: list[int], i: int, j: int) -> float:
+        # Move i: ga -> gb and j: gb -> ga.
+        before = sum(m[i, x] for x in ga if x != i) + sum(m[j, x] for x in gb if x != j)
+        after = sum(m[i, x] for x in gb if x != j) + sum(m[j, x] for x in ga if x != i)
+        return after - before
+
+    for _ in range(max_rounds):
+        improved = False
+        for ai in range(len(groups)):
+            for bi in range(ai + 1, len(groups)):
+                ga, gb = groups[ai], groups[bi]
+                for xi in range(len(ga)):
+                    for yi in range(len(gb)):
+                        g = gain(ga, gb, ga[xi], gb[yi])
+                        if g > 1e-12:
+                            ga[xi], gb[yi] = gb[yi], ga[xi]
+                            improved = True
+        if not improved:
+            break
+    return groups

@@ -1,0 +1,129 @@
+"""Distance-aware ordering of the top-level groups (MapGroups refinement).
+
+Plain TreeMatch assigns the final groups to the root's children in
+arbitrary order — harmless inside a socket where all leaves are
+equidistant, but the *top* level of a NUMAlink machine is not uniform:
+node 0 is one router hop from node 1 but several from node 8 (see
+:mod:`repro.topology.distance`). This pass permutes the top-level group
+assignment to put heavily-communicating groups on nearby NUMA nodes:
+greedy seeding followed by pairwise-swap refinement, using the aggregated
+matrix of the last grouping level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.topology.distance import numa_distance_matrix
+from repro.topology.objects import ObjType
+from repro.topology.tree import Topology
+
+__all__ = ["child_distance_matrix", "order_top_groups"]
+
+
+def child_distance_matrix(topology: Topology) -> np.ndarray:
+    """Pairwise distance between the root's children.
+
+    Each child subtree is represented by its first NUMA node; the entry
+    is the SLIT distance between representatives. For machines whose root
+    children *are* the NUMA nodes this is exactly the SLIT matrix.
+    """
+    children = topology.root.children
+    if not children:
+        raise MappingError("topology root has no children")
+    dist = numa_distance_matrix(topology)
+
+    def rep_numa(obj) -> int:
+        if obj.type is ObjType.NUMANODE:
+            return obj.logical_index
+        for node in obj.descendants():
+            if node.type is ObjType.NUMANODE:
+                return node.logical_index
+        raise MappingError(f"no NUMA node under root child {obj!r}")
+
+    reps = [rep_numa(c) for c in children]
+    k = len(reps)
+    out = np.empty((k, k))
+    for i in range(k):
+        for j in range(k):
+            out[i, j] = dist[reps[i], reps[j]]
+    return out
+
+
+def placement_cost(m: np.ndarray, slots: list[int], dist: np.ndarray) -> float:
+    """Cost of assigning group g to child ``slots[g]``."""
+    total = 0.0
+    k = len(slots)
+    for a in range(k):
+        for b in range(a + 1, k):
+            w = m[a, b]
+            if w:
+                total += w * dist[slots[a], slots[b]]
+    return total
+
+
+def order_top_groups(
+    groups: list[list[int]],
+    m: np.ndarray,
+    dist: np.ndarray,
+    *,
+    swap_rounds: int = 4,
+) -> list[list[int]]:
+    """Permute *groups* so group ``i`` of the result belongs on child ``i``.
+
+    *m* is the affinity matrix between the groups (order == len(groups));
+    *dist* the child distance matrix. Greedy construction (heaviest
+    communicator first, nearest free child) plus 2-opt swap refinement.
+    """
+    k = len(groups)
+    if m.shape != (k, k) or dist.shape != (k, k):
+        raise MappingError(
+            f"order_top_groups: {k} groups vs matrix {m.shape} / dist {dist.shape}"
+        )
+    if k <= 2:
+        return [list(g) for g in groups]
+
+    # Greedy: seed with the group with most total traffic on the child
+    # with minimal total distance (the "center" of the interconnect).
+    totals = m.sum(axis=1)
+    order_groups = list(np.argsort(-totals, kind="stable"))
+    center = int(np.argmin(dist.sum(axis=1)))
+    slots = [-1] * k  # slots[g] = child index
+    free_children = set(range(k))
+    placed: list[int] = []
+
+    first = order_groups[0]
+    slots[first] = center
+    free_children.discard(center)
+    placed.append(first)
+
+    for g in order_groups[1:]:
+        best_child, best_cost = -1, np.inf
+        for c in sorted(free_children):
+            cost = sum(m[g, p] * dist[c, slots[p]] for p in placed)
+            if cost < best_cost:
+                best_child, best_cost = c, cost
+        slots[g] = best_child
+        free_children.discard(best_child)
+        placed.append(g)
+
+    # 2-opt: swap child assignments while it lowers the objective.
+    for _ in range(swap_rounds):
+        improved = False
+        for a in range(k):
+            for b in range(a + 1, k):
+                current = placement_cost(m, slots, dist)
+                slots[a], slots[b] = slots[b], slots[a]
+                if placement_cost(m, slots, dist) < current - 1e-12:
+                    improved = True
+                else:
+                    slots[a], slots[b] = slots[b], slots[a]
+        if not improved:
+            break
+
+    # groups_out[child] = the group assigned to that child.
+    out: list[list[int]] = [[] for _ in range(k)]
+    for g, c in enumerate(slots):
+        out[c] = list(groups[g])
+    return out

@@ -1,0 +1,302 @@
+"""Algorithm 1 — the full mapping driver (``MapGroups`` included).
+
+Ties together the pieces: control-thread matrix extension, oversubscription
+via a virtual level, bottom-up grouping + aggregation along the topology
+arities, and the final assignment of every thread (compute and control) to
+a PU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.topology.tree import Topology
+from repro.treematch.aggregate import aggregate_comm_matrix
+from repro.treematch.commmatrix import CommunicationMatrix
+from repro.treematch.control import ControlPlan, extend_for_control_threads
+from repro.treematch.grouping import group_processes
+from repro.treematch.maporder import child_distance_matrix, order_top_groups
+from repro.treematch.oversub import manage_oversubscription
+
+__all__ = ["Placement", "treematch_map"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A computed thread→PU mapping.
+
+    ``thread_to_pu`` binds compute threads, ``control_to_pu`` binds control
+    threads (empty when ``control_mode == "os"``, i.e. the OS schedules
+    them). ``reserved_pus`` lists PUs set aside for control threads (the
+    hyperthread siblings or the spare cores of Fig. 2).
+    """
+
+    thread_to_pu: dict[int, int]
+    control_to_pu: dict[int, int] = field(default_factory=dict)
+    control_mode: str = "os"
+    granularity: str = "pu"  # "core" when hyperthread-aware mapping was used
+    oversub_factor: int = 1
+    topology_name: str = ""
+    groups_per_level: tuple = ()
+
+    @property
+    def reserved_pus(self) -> list[int]:
+        return sorted(set(self.control_to_pu.values()) - set(self.thread_to_pu.values()))
+
+    def cpuset_of_thread(self, tid: int) -> int:
+        try:
+            return self.thread_to_pu[tid]
+        except KeyError:
+            raise MappingError(f"thread {tid} not in placement") from None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
+        return {
+            "thread_to_pu": {str(k): v for k, v in self.thread_to_pu.items()},
+            "control_to_pu": {str(k): v for k, v in self.control_to_pu.items()},
+            "control_mode": self.control_mode,
+            "granularity": self.granularity,
+            "oversub_factor": self.oversub_factor,
+            "topology_name": self.topology_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Placement":
+        """Rebuild a placement recorded by :meth:`to_dict`."""
+        try:
+            return cls(
+                thread_to_pu={int(k): int(v)
+                              for k, v in data["thread_to_pu"].items()},
+                control_to_pu={int(k): int(v)
+                               for k, v in data.get("control_to_pu", {}).items()},
+                control_mode=str(data.get("control_mode", "os")),
+                granularity=str(data.get("granularity", "pu")),
+                oversub_factor=int(data.get("oversub_factor", 1)),
+                topology_name=str(data.get("topology_name", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MappingError(f"bad placement record: {exc}") from exc
+
+    def slit_cost(self, topology: Topology, comm: CommunicationMatrix) -> float:
+        """Traffic weighted by SLIT NUMA distance (latency-proportional).
+
+        Unlike :meth:`cost` (tree-depth separation, which treats all
+        cross-node pairs equally), this metric sees the interconnect's
+        non-uniformity — the quantity the distance-aware MapGroups
+        ordering optimizes.
+        """
+        from repro.topology.distance import numa_distance_matrix
+
+        dist = numa_distance_matrix(topology)
+        node_of: dict[int, int] = {}
+        for pu in set(self.thread_to_pu.values()):
+            numa = topology.numa_of_pu(pu)
+            node_of[pu] = numa.logical_index if numa is not None else 0
+        aff = comm.affinity()
+        total = 0.0
+        for i in range(comm.order):
+            pi = self.thread_to_pu.get(i)
+            if pi is None:
+                continue
+            for j in range(i + 1, comm.order):
+                w = aff[i, j]
+                if not w:
+                    continue
+                pj = self.thread_to_pu.get(j)
+                if pj is None:
+                    continue
+                total += w * dist[node_of[pi], node_of[pj]]
+        return total
+
+    def cost(self, topology: Topology, comm: CommunicationMatrix) -> float:
+        """Communication-distance objective: sum of traffic × tree distance.
+
+        Distance between two PUs is the number of tree levels separating
+        them from their deepest common ancestor (0 when they share a core).
+        """
+        max_depth = topology.tree_depth - 1
+        aff = comm.affinity()
+        total = 0.0
+        for i in range(comm.order):
+            pi = self.thread_to_pu.get(i)
+            if pi is None:
+                continue
+            for j in range(i + 1, comm.order):
+                w = aff[i, j]
+                if not w:
+                    continue
+                pj = self.thread_to_pu.get(j)
+                if pj is None:
+                    continue
+                if pi == pj:
+                    continue
+                depth = topology.common_ancestor_depth(pi, pj)
+                total += w * (max_depth - depth)
+        return total
+
+
+def treematch_map(
+    topology: Topology,
+    comm: CommunicationMatrix,
+    *,
+    n_control: int = 0,
+    control_owners: list[int] | None = None,
+    hyperthread_aware: bool = True,
+    engine: str | None = None,
+    refine: bool = True,
+    distance_aware: bool = True,
+) -> Placement:
+    """Compute the topology-aware placement of *comm*'s threads (Algorithm 1).
+
+    Parameters mirror the paper's adaptations:
+
+    * ``n_control`` — number of ORWL control threads to account for
+      (line 1 of Algorithm 1). ``control_owners[j]`` names the compute
+      thread whose locations control thread *j* manages (default
+      ``j % n_compute``).
+    * ``hyperthread_aware`` — when the machine has hyperthreads, map
+      compute threads one-per-physical-core and reserve sibling PUs for
+      control threads (the paper's systematically applied policy).
+    * ``engine``/``refine`` — pin the :func:`group_processes` engine
+      (ablation hooks; default = size-based selection with refinement).
+    * ``distance_aware`` — order the final groups onto the root's
+      children by interconnect distance (see
+      :mod:`repro.treematch.maporder`) instead of arbitrarily.
+    """
+    p = comm.order
+    if p == 0:
+        raise MappingError("empty communication matrix")
+    aff = comm.affinity()
+
+    core_mode = hyperthread_aware and topology.has_hyperthreading
+    if core_mode:
+        leaf_objs = [core.children[0] for core in topology.cores]
+        arities = topology.level_arities()[:-1]
+        granularity = "core"
+    else:
+        # PUs in tree order; one entry per leaf of the full tree.
+        leaf_objs = [pu for core in topology.cores for pu in core.leaves()]
+        arities = topology.level_arities()
+        granularity = "pu"
+    n_leaves = len(leaf_objs)
+
+    owners = control_owners if control_owners is not None else [
+        j % p for j in range(n_control)
+    ]
+    if len(owners) != n_control:
+        raise MappingError(
+            f"{len(owners)} control owners for {n_control} control threads"
+        )
+
+    # Line 1: extend the matrix to manage control threads.
+    ext, control_plan = extend_for_control_threads(
+        aff,
+        n_control,
+        n_leaves,
+        hyperthreading=core_mode,
+        control_owners=owners[: max(0, n_leaves - p)],
+    )
+    p_ext = ext.shape[0]
+
+    # Line 2: manage oversubscription with a virtual level.
+    plan = manage_oversubscription(list(arities), p_ext)
+    lv = plan.virtual_leaves
+
+    # Pad with dummy (zero-communication) threads up to the leaf count.
+    m_cur = np.zeros((lv, lv))
+    m_cur[:p_ext, :p_ext] = ext
+
+    # Lines 4-7: group bottom-up, aggregating between levels.
+    clusters: list[list[int]] = [[i] for i in range(lv)]
+    groups_per_level: list[list[list[int]]] = []
+    arity_list = list(reversed(plan.arities))
+    for li, a in enumerate(arity_list):
+        at_root = li == len(arity_list) - 1
+        if (
+            at_root
+            and distance_aware
+            and a > 2
+            and len(clusters) == a
+            and len(topology.root.children) == a
+        ):
+            # MapGroups refinement: the member order of the final (single)
+            # group assigns subtrees to the root's children — pick it by
+            # interconnect distance instead of index order.
+            dist = child_distance_matrix(topology)
+            ordered = order_top_groups(
+                [[i] for i in range(a)], m_cur, dist
+            )
+            groups = [[g[0] for g in ordered]]
+        else:
+            groups = group_processes(m_cur, a, force=engine, refine=refine)
+        clusters = [
+            [tid for ci in g for tid in clusters[ci]] for g in groups
+        ]
+        groups_per_level.append(groups)
+        m_cur = aggregate_comm_matrix(m_cur, groups)
+    if len(clusters) != 1:
+        raise MappingError(
+            f"grouping terminated with {len(clusters)} clusters (tree arities "
+            f"{plan.arities})"
+        )
+
+    # Line 8: MapGroups — position q in the flattened order is virtual leaf
+    # q, i.e. physical leaf q // factor (threads "go up one level" when
+    # oversubscribed).
+    flat = clusters[0]
+    thread_to_pu: dict[int, int] = {}
+    slot_pus: dict[int, int] = {}
+    for q, tid in enumerate(flat):
+        leaf = leaf_objs[q // plan.factor]
+        if tid < p:
+            thread_to_pu[tid] = leaf.os_index
+        elif tid < p_ext:
+            slot_pus[tid - p] = leaf.os_index
+
+    control_to_pu = _bind_control_threads(
+        topology, control_plan, thread_to_pu, slot_pus, owners
+    )
+
+    return Placement(
+        thread_to_pu=thread_to_pu,
+        control_to_pu=control_to_pu,
+        control_mode=control_plan.mode,
+        granularity=granularity,
+        oversub_factor=plan.factor,
+        topology_name=topology.name,
+        groups_per_level=tuple(
+            tuple(tuple(g) for g in level) for level in groups_per_level
+        ),
+    )
+
+
+def _bind_control_threads(
+    topology: Topology,
+    control_plan: ControlPlan,
+    thread_to_pu: dict[int, int],
+    slot_pus: dict[int, int],
+    owners: list[int],
+) -> dict[int, int]:
+    """Assign each control thread a PU according to the control plan."""
+    if control_plan.mode == "ht-sibling":
+        out: dict[int, int] = {}
+        for j, owner in enumerate(owners):
+            owner_pu = thread_to_pu.get(owner)
+            if owner_pu is None:
+                continue
+            siblings = topology.siblings_of_pu(owner_pu)
+            if not siblings:
+                continue
+            out[j] = siblings[j % len(siblings)].os_index
+        return out
+    if control_plan.mode == "spare-core":
+        if not slot_pus:
+            return {}
+        slots = sorted(slot_pus)
+        return {
+            j: slot_pus[slots[j % len(slots)]] for j in range(len(owners))
+        }
+    return {}

@@ -1,0 +1,60 @@
+"""Oversubscription handling (Algorithm 1, line 2).
+
+When the communication matrix has more threads than the tree has leaves,
+TreeMatch cannot assign one thread per leaf. The paper's adaptation adds a
+*virtual level* below the leaves with just enough arity, computes the
+mapping on the virtual tree, and then "goes up one level": the ``v``
+threads of each virtual group share the physical leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.errors import MappingError
+
+__all__ = ["OversubscriptionPlan", "manage_oversubscription"]
+
+
+@dataclass(frozen=True)
+class OversubscriptionPlan:
+    """Result of :func:`manage_oversubscription`.
+
+    ``arities`` is the (possibly extended) arity list whose product equals
+    ``virtual_leaves``; ``factor`` is the number of threads per physical
+    leaf (1 = no oversubscription).
+    """
+
+    arities: tuple[int, ...]
+    factor: int
+    physical_leaves: int
+
+    @property
+    def virtual_leaves(self) -> int:
+        return self.physical_leaves * self.factor
+
+    @property
+    def oversubscribed(self) -> bool:
+        return self.factor > 1
+
+
+def manage_oversubscription(
+    arities: list[int], n_threads: int
+) -> OversubscriptionPlan:
+    """Extend *arities* with a virtual level if *n_threads* exceeds leaves.
+
+    *arities* is the per-level child count of the (compute-granularity)
+    topology tree; its product is the physical leaf count.
+    """
+    if n_threads <= 0:
+        raise MappingError(f"n_threads must be positive, got {n_threads}")
+    leaves = 1
+    for a in arities:
+        if a < 1:
+            raise MappingError(f"invalid arity {a}")
+        leaves *= a
+    if n_threads <= leaves:
+        return OversubscriptionPlan(tuple(arities), 1, leaves)
+    factor = ceil(n_threads / leaves)
+    return OversubscriptionPlan((*arities, factor), factor, leaves)

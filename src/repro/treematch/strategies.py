@@ -1,0 +1,131 @@
+"""Baseline placement strategies.
+
+These reproduce the affinity interfaces the paper compares against
+(Section II / VI): Intel ``KMP_AFFINITY=compact|scatter`` and OpenMP 4.5
+``OMP_PLACES=cores`` with ``OMP_PROC_BIND=close|spread``. None of them look
+at the communication matrix — that blindness is exactly what the paper
+criticizes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.topology.objects import ObjType, TopoObject
+from repro.topology.tree import Topology
+from repro.treematch.mapping import Placement
+
+__all__ = [
+    "compact_placement",
+    "scatter_placement",
+    "cores_close_placement",
+    "cores_spread_placement",
+    "sequential_placement",
+    "strategy_by_name",
+]
+
+
+def _check_n(topology: Topology, n_threads: int, capacity: int) -> None:
+    if n_threads <= 0:
+        raise MappingError(f"n_threads must be positive, got {n_threads}")
+    if n_threads > capacity:
+        raise MappingError(
+            f"{n_threads} threads exceed capacity {capacity} of {topology.name}"
+        )
+
+
+def _placement(topology: Topology, order: list[TopoObject], n: int, name: str) -> Placement:
+    return Placement(
+        thread_to_pu={i: order[i].os_index for i in range(n)},
+        control_mode="os",
+        granularity="pu",
+        topology_name=topology.name,
+        groups_per_level=(),
+    )
+
+
+def compact_placement(topology: Topology, n_threads: int) -> Placement:
+    """``KMP_AFFINITY=compact``: fill PUs in os order — hyperthread
+    siblings first, then the next core, then the next socket."""
+    pus = [pu for core in topology.cores for pu in core.leaves()]
+    _check_n(topology, n_threads, len(pus))
+    return _placement(topology, pus, n_threads, "compact")
+
+
+def scatter_placement(topology: Topology, n_threads: int) -> Placement:
+    """``KMP_AFFINITY=scatter``: distribute as evenly as possible across
+    sockets, then across cores, using hyperthread siblings last."""
+    sockets = topology.sockets or topology.numa_nodes
+    # Round-robin: sibling index varies slowest, then core rank, then socket.
+    per_socket_cores = [
+        [o for o in s.descendants() if o.type is ObjType.CORE] for s in sockets
+    ]
+    max_cores = max(len(cs) for cs in per_socket_cores)
+    max_sibs = max(len(c.leaves()) for cs in per_socket_cores for c in cs)
+    order: list[TopoObject] = []
+    for sib in range(max_sibs):
+        for core_rank in range(max_cores):
+            for cores in per_socket_cores:
+                if core_rank < len(cores):
+                    leaves = cores[core_rank].leaves()
+                    if sib < len(leaves):
+                        order.append(leaves[sib])
+    _check_n(topology, n_threads, len(order))
+    return _placement(topology, order, n_threads, "scatter")
+
+
+def cores_close_placement(topology: Topology, n_threads: int) -> Placement:
+    """``OMP_PLACES=cores`` + ``OMP_PROC_BIND=close``: one thread per core,
+    cores in machine order (hyperthread siblings left idle)."""
+    order = [core.children[0] for core in topology.cores]
+    _check_n(topology, n_threads, len(order))
+    return _placement(topology, order, n_threads, "cores-close")
+
+
+def cores_spread_placement(topology: Topology, n_threads: int) -> Placement:
+    """``OMP_PLACES=cores`` + ``OMP_PROC_BIND=spread``: one thread per core,
+    cores round-robined across sockets."""
+    sockets = topology.sockets or topology.numa_nodes
+    per_socket_cores = [
+        [o for o in s.descendants() if o.type is ObjType.CORE] for s in sockets
+    ]
+    max_cores = max(len(cs) for cs in per_socket_cores)
+    order = [
+        cores[rank].children[0]
+        for rank in range(max_cores)
+        for cores in per_socket_cores
+        if rank < len(cores)
+    ]
+    _check_n(topology, n_threads, len(order))
+    return _placement(topology, order, n_threads, "cores-spread")
+
+
+def sequential_placement(topology: Topology, n_threads: int = 1) -> Placement:
+    """Everything on PU 0 — the sequential baseline of Fig. 6."""
+    pu0 = topology.pus[0]
+    if n_threads <= 0:
+        raise MappingError("n_threads must be positive")
+    return Placement(
+        thread_to_pu={i: pu0.os_index for i in range(n_threads)},
+        control_mode="os",
+        granularity="pu",
+        topology_name=topology.name,
+    )
+
+
+_STRATEGIES = {
+    "compact": compact_placement,
+    "scatter": scatter_placement,
+    "cores-close": cores_close_placement,
+    "cores-spread": cores_spread_placement,
+    "sequential": sequential_placement,
+}
+
+
+def strategy_by_name(name: str):
+    """Look up a baseline strategy callable by name."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise MappingError(
+            f"unknown strategy {name!r}; known: {', '.join(sorted(_STRATEGIES))}"
+        ) from None

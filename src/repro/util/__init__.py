@@ -1,0 +1,6 @@
+"""Small shared utilities: cpuset bitmaps, size parsing, matrix helpers."""
+
+from repro.util.bitmap import Bitmap
+from repro.util.units import format_size, parse_size
+
+__all__ = ["Bitmap", "parse_size", "format_size"]

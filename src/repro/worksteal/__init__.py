@@ -1,0 +1,20 @@
+"""A locality-aware work-stealing runtime (related-work baseline).
+
+Section II of the paper argues that dynamic task schedulers (StarPU's
+``lws``, OpenStream-style runtimes) "are not adapted for applications
+with a limited number of tasks and a coarse granularity ... dynamic
+scheduling could be not efficient because of granularity and generates
+unnecessary overhead", and that static pipelines like the video tracker
+*require* static placement.
+
+:mod:`repro.worksteal` implements that comparison point: a worker-per-PU
+runtime with per-worker deques, ready-dependency tracking and (optionally
+locality-aware) stealing, running on the same simulated machine. The
+bench ``benchmarks/test_related_work_stealing.py`` reproduces the
+argument: on the coarse-grained LK23 task graph, ORWL+affinity beats the
+work stealer even with locality-aware victim selection.
+"""
+
+from repro.worksteal.runtime import StealResult, TaskGraph, WorkStealingRuntime
+
+__all__ = ["WorkStealingRuntime", "TaskGraph", "StealResult"]

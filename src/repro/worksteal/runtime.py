@@ -1,0 +1,227 @@
+"""Work-stealing execution of a dependency task graph on the simulator.
+
+The programming model is the classic dynamic-runtime one (StarPU/Cilk
+style): the application is a DAG of *task instances*, each with
+dependencies, a compute cost and data touches. Workers (one per core,
+bound) pop from their own deque and steal when empty:
+
+* ``locality="random"`` — steal from a uniformly random victim;
+* ``locality="near"`` — prefer victims sharing the thief's NUMA node,
+  then nearest nodes (an ``lws``-style heuristic).
+
+Ready tasks are pushed to the worker that produced their last
+dependency (data-follows-producer), so with coarse tasks the stealer
+behaves as well as a dynamic runtime reasonably can — and the benches
+show the static ORWL placement still wins, which is the paper's §II
+claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.sim.machine import SimMachine
+from repro.sim.memory import Buffer
+from repro.sim.params import CostModel
+from repro.sim.process import Compute, Touch, Wait, YieldCPU
+from repro.topology.tree import Topology
+from repro.util.bitmap import Bitmap
+from repro.util.rng import make_rng
+
+__all__ = ["TaskGraph", "WorkStealingRuntime", "StealResult"]
+
+#: Per-pop scheduling overhead of a dynamic runtime, in cycles.
+POP_OVERHEAD = 2_000.0
+#: Extra overhead of a successful steal (cross-worker synchronization).
+STEAL_OVERHEAD = 8_000.0
+
+
+@dataclass
+class _TaskNode:
+    task_id: int
+    flops: float
+    touches: list[tuple[Buffer, float, bool]]
+    deps: list[int]
+    children: list[int] = field(default_factory=list)
+    remaining_deps: int = 0
+    done: bool = False
+
+
+class TaskGraph:
+    """A DAG of task instances for the work stealer."""
+
+    def __init__(self) -> None:
+        self.nodes: list[_TaskNode] = []
+
+    def add_task(
+        self,
+        flops: float,
+        *,
+        touches: list[tuple[Buffer, float, bool]] | None = None,
+        deps: list[int] | None = None,
+    ) -> int:
+        """Add a task; returns its id. *deps* are ids of earlier tasks."""
+        deps = list(deps or [])
+        for d in deps:
+            if not 0 <= d < len(self.nodes):
+                raise ReproError(f"unknown dependency {d}")
+        node = _TaskNode(
+            task_id=len(self.nodes),
+            flops=float(flops),
+            touches=list(touches or []),
+            deps=deps,
+            remaining_deps=len(deps),
+        )
+        for d in deps:
+            self.nodes[d].children.append(node.task_id)
+        self.nodes.append(node)
+        return node.task_id
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class StealResult:
+    """Outcome of one work-stealing execution."""
+
+    seconds: float
+    tasks_run: int
+    steals: int
+    pops: int
+    machine: SimMachine
+
+    @property
+    def steal_ratio(self) -> float:
+        return self.steals / self.pops if self.pops else 0.0
+
+
+class WorkStealingRuntime:
+    """Executes a :class:`TaskGraph` with one bound worker per core."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        n_workers: int | None = None,
+        locality: str = "near",
+        model: CostModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        if locality not in ("near", "random"):
+            raise ReproError(f"unknown locality policy {locality!r}")
+        self.topology = topology
+        self.locality = locality
+        self.machine = SimMachine(topology, model, seed=seed)
+        cores = topology.cores
+        if n_workers is None:
+            n_workers = len(cores)
+        if not 1 <= n_workers <= len(cores):
+            raise ReproError(
+                f"n_workers must be in [1, {len(cores)}], got {n_workers}"
+            )
+        self.n_workers = n_workers
+        self._worker_pu = [cores[i].children[0].os_index for i in range(n_workers)]
+        self._rng = make_rng(seed)
+        self._deques: list[list[int]] = [[] for _ in range(n_workers)]
+        self._victim_order = self._build_victim_orders()
+        self._graph: TaskGraph | None = None
+        self._tasks_left = 0
+        self._steals = 0
+        self._pops = 0
+        self._work_event = None
+
+    def _build_victim_orders(self) -> list[list[int]]:
+        """Per-worker victim preference (near: same node first)."""
+        orders = []
+        for w in range(self.n_workers):
+            others = [v for v in range(self.n_workers) if v != w]
+            if self.locality == "near":
+                me = self.machine.memory.numa_of_pu(self._worker_pu[w])
+                others.sort(
+                    key=lambda v: (
+                        self.machine.memory.distance[
+                            me, self.machine.memory.numa_of_pu(self._worker_pu[v])
+                        ],
+                        v,
+                    )
+                )
+            orders.append(others)
+        return orders
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, graph: TaskGraph) -> StealResult:
+        """Execute *graph* to completion."""
+        if self._graph is not None:
+            raise ReproError("run() may only be called once")
+        if not len(graph):
+            raise ReproError("empty task graph")
+        self._graph = graph
+        self._tasks_left = len(graph)
+        self._work_event = self.machine.event("ws:work")
+
+        # Seed: initially-ready tasks round-robined over the deques.
+        ready = [n.task_id for n in graph.nodes if n.remaining_deps == 0]
+        if not ready:
+            raise ReproError("task graph has no source tasks (cycle?)")
+        for k, tid in enumerate(ready):
+            self._deques[k % self.n_workers].append(tid)
+
+        for w in range(self.n_workers):
+            self.machine.add_thread(
+                f"ws:w{w}",
+                self._worker(w),
+                cpuset=Bitmap.single(self._worker_pu[w]),
+            )
+        seconds = self.machine.run()
+        return StealResult(
+            seconds=seconds,
+            tasks_run=len(graph) - self._tasks_left,
+            steals=self._steals,
+            pops=self._pops,
+            machine=self.machine,
+        )
+
+    def _try_get_work(self, w: int) -> tuple[int, bool] | None:
+        if self._deques[w]:
+            self._pops += 1
+            return self._deques[w].pop(), False
+        for victim in self._victim_order[w]:
+            if self._deques[victim]:
+                self._pops += 1
+                self._steals += 1
+                # steal from the opposite end (FIFO side)
+                return self._deques[victim].pop(0), True
+        return None
+
+    def _worker(self, w: int):
+        graph = self._graph
+        assert graph is not None
+        while self._tasks_left > 0:
+            got = self._try_get_work(w)
+            if got is None:
+                # Idle: wait for new work (or completion broadcast).
+                yield Wait(self._work_event)
+                continue
+            tid, stolen = got
+            yield Compute(POP_OVERHEAD + (STEAL_OVERHEAD if stolen else 0.0))
+            node = graph.nodes[tid]
+            for buf, nbytes, write in node.touches:
+                yield Touch(buf, nbytes, write=write)
+            if node.flops > 0:
+                yield Compute(node.flops)
+            node.done = True
+            self._tasks_left -= 1
+            for child in node.children:
+                cnode = graph.nodes[child]
+                cnode.remaining_deps -= 1
+                if cnode.remaining_deps == 0:
+                    # Data-follows-producer: child enqueued here.
+                    self._deques[w].append(child)
+                    self._work_event.signal()
+            if self._tasks_left == 0:
+                # Wake everyone so idle workers can exit.
+                self._work_event.signal(self.n_workers)
+            yield YieldCPU()

@@ -1,0 +1,155 @@
+"""Tests for the Livermore Kernel 23 application (both implementations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lk23 import (
+    Lk23Config,
+    choose_grid,
+    lk23_reference,
+    make_lk23_arrays,
+    run_openmp_lk23,
+    run_orwl_lk23,
+)
+from repro.errors import ReproError
+from repro.topology import fig2_machine, smp12e5
+
+
+class TestConfigAndGrid:
+    def test_blocks_from_threads(self):
+        assert Lk23Config(n_threads=64).n_blocks == 16
+        assert Lk23Config(n_threads=1).n_blocks == 1
+        assert Lk23Config(n_threads=3).n_blocks == 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Lk23Config(n=2)
+        with pytest.raises(ReproError):
+            Lk23Config(iterations=0)
+
+    def test_choose_grid_near_square(self):
+        assert choose_grid(16) == (4, 4)
+        assert choose_grid(24) == (4, 6)
+        assert choose_grid(1) == (1, 1)
+        assert choose_grid(7) == (1, 7)
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_choose_grid_covers(self, nb):
+        gh, gw = choose_grid(nb)
+        assert gh * gw == nb
+        assert gh <= gw
+
+
+class TestReferenceKernel:
+    def test_boundary_untouched(self):
+        arrays = make_lk23_arrays(8, seed=0)
+        out = lk23_reference(**arrays, iterations=2)
+        za = arrays["za"]
+        assert np.array_equal(out[0, :], za[0, :])
+        assert np.array_equal(out[-1, :], za[-1, :])
+        assert np.array_equal(out[:, 0], za[:, 0])
+        assert np.array_equal(out[:, -1], za[:, -1])
+
+    def test_interior_changes(self):
+        arrays = make_lk23_arrays(8, seed=0)
+        out = lk23_reference(**arrays, iterations=1)
+        assert not np.allclose(out[1:-1, 1:-1], arrays["za"][1:-1, 1:-1])
+
+    def test_input_not_mutated(self):
+        arrays = make_lk23_arrays(8, seed=0)
+        before = arrays["za"].copy()
+        lk23_reference(**arrays, iterations=1)
+        assert np.array_equal(arrays["za"], before)
+
+
+class TestOrwlDataCorrectness:
+    """The load-bearing test: the ORWL wavefront equals the sequential
+    sweep bit-for-bit — any FIFO/ordering bug breaks exact equality."""
+
+    @pytest.mark.parametrize("n_threads", [1, 4, 16, 24])
+    def test_bit_exact_vs_reference(self, n_threads):
+        n, iters = 20, 3
+        arrays = make_lk23_arrays(n, seed=2)
+        ref = lk23_reference(**arrays, iterations=iters)
+        cfg = Lk23Config(n=n, iterations=iters, n_threads=n_threads,
+                         execute_data=True)
+        work = {k: v.copy() for k, v in arrays.items()}
+        run_orwl_lk23(fig2_machine(), cfg, affinity=False, arrays=work)
+        assert np.array_equal(work["za"], ref)
+
+    def test_bit_exact_with_affinity(self):
+        n, iters = 16, 2
+        arrays = make_lk23_arrays(n, seed=5)
+        ref = lk23_reference(**arrays, iterations=iters)
+        cfg = Lk23Config(n=n, iterations=iters, n_threads=16, execute_data=True)
+        work = {k: v.copy() for k, v in arrays.items()}
+        run_orwl_lk23(smp12e5(), cfg, affinity=True, arrays=work)
+        assert np.array_equal(work["za"], ref)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.sampled_from([4, 8, 16]),
+    )
+    def test_bit_exact_random_inputs(self, seed, n_threads):
+        n, iters = 12, 2
+        arrays = make_lk23_arrays(n, seed=seed)
+        ref = lk23_reference(**arrays, iterations=iters)
+        cfg = Lk23Config(n=n, iterations=iters, n_threads=n_threads,
+                         execute_data=True)
+        work = {k: v.copy() for k, v in arrays.items()}
+        run_orwl_lk23(fig2_machine(), cfg, affinity=False, arrays=work)
+        assert np.array_equal(work["za"], ref)
+
+    def test_execute_data_requires_arrays(self):
+        cfg = Lk23Config(n=16, iterations=1, n_threads=4, execute_data=True)
+        with pytest.raises(ReproError):
+            run_orwl_lk23(fig2_machine(), cfg, affinity=False)
+
+
+class TestOpenmpLk23:
+    def test_openmp_converges_close_to_reference(self):
+        """Naive row-chunked OpenMP drifts at chunk boundaries but must
+        stay close after few iterations."""
+        n, iters = 24, 2
+        arrays = make_lk23_arrays(n, seed=3)
+        ref = lk23_reference(**arrays, iterations=iters)
+        cfg = Lk23Config(n=n, iterations=iters, n_threads=4, execute_data=True)
+        work = {k: v.copy() for k, v in arrays.items()}
+        run_openmp_lk23(fig2_machine(), cfg, binding="close", arrays=work)
+        assert np.allclose(work["za"], ref, atol=0.05)
+
+    def test_flop_accounting(self):
+        cfg = Lk23Config(n=256, iterations=2, n_threads=4)
+        res = run_openmp_lk23(fig2_machine(), cfg, binding="close")
+        expected = 11.0 * (256 - 2) * (256 - 2) * 2
+        assert res.counters.flops == pytest.approx(expected, rel=0.02)
+
+
+class TestPerformanceShape:
+    def test_flops_independent_of_decomposition(self):
+        cfg4 = Lk23Config(n=256, iterations=2, n_threads=4)
+        cfg16 = Lk23Config(n=256, iterations=2, n_threads=16)
+        r4 = run_orwl_lk23(fig2_machine(), cfg4, affinity=True)
+        r16 = run_orwl_lk23(fig2_machine(), cfg16, affinity=True)
+        assert r4.compute_counters.flops == pytest.approx(
+            r16.compute_counters.flops, rel=0.01
+        )
+
+    def test_affinity_zero_migrations(self):
+        cfg = Lk23Config(n=512, iterations=2, n_threads=16)
+        res = run_orwl_lk23(smp12e5(), cfg, affinity=True, seed=1)
+        assert res.counters.cpu_migrations == 0
+
+    def test_native_migrates(self):
+        cfg = Lk23Config(n=2048, iterations=6, n_threads=32)
+        res = run_orwl_lk23(smp12e5(), cfg, affinity=False, seed=1)
+        assert res.counters.cpu_migrations > 0
+
+    def test_affinity_not_slower(self):
+        cfg = Lk23Config(n=2048, iterations=4, n_threads=32)
+        nat = run_orwl_lk23(smp12e5(), cfg, affinity=False, seed=1)
+        aff = run_orwl_lk23(smp12e5(), cfg, affinity=True, seed=1)
+        assert aff.seconds <= nat.seconds

@@ -1,0 +1,101 @@
+"""Tests for the block-cyclic matmul application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.matmul import MatmulConfig, matmul_flops, run_orwl_matmul
+from repro.errors import ReproError
+from repro.topology import fig2_machine, smp12e5, smp20e7
+
+
+def run_data(n, p, seed=0, topology=None, affinity=False):
+    rng = np.random.default_rng(seed)
+    data = {
+        "A": rng.random((n, n)),
+        "B": rng.random((n, n)),
+        "C": np.zeros((n, n)),
+    }
+    cfg = MatmulConfig(n=n, n_tasks=p, execute_data=True)
+    run_orwl_matmul(topology or fig2_machine(), cfg, affinity=affinity, data=data)
+    return data
+
+
+class TestConfig:
+    def test_bounds_tile_rows(self):
+        cfg = MatmulConfig(n=37, n_tasks=5)
+        b = cfg.bounds()
+        assert b[0][0] == 0 and b[-1][1] == 37
+        for (a0, a1), (b0, _) in zip(b, b[1:]):
+            assert a1 == b0
+            assert a1 > a0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            MatmulConfig(n=0)
+        with pytest.raises(ReproError):
+            MatmulConfig(n=4, n_tasks=8)
+
+    def test_matmul_flops(self):
+        assert matmul_flops(10) == 2000.0
+
+
+class TestDataCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_divisible(self, p):
+        data = run_data(32, p)
+        assert np.allclose(data["C"], data["A"] @ data["B"])
+
+    @pytest.mark.parametrize("n,p", [(37, 5), (19, 3), (40, 7)])
+    def test_uneven(self, n, p):
+        data = run_data(n, p)
+        assert np.allclose(data["C"], data["A"] @ data["B"])
+
+    def test_with_affinity(self):
+        data = run_data(24, 4, topology=smp12e5(), affinity=True)
+        assert np.allclose(data["C"], data["A"] @ data["B"])
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_inputs(self, seed):
+        data = run_data(16, 4, seed=seed)
+        assert np.allclose(data["C"], data["A"] @ data["B"])
+
+    def test_execute_data_requires_arrays(self):
+        cfg = MatmulConfig(n=16, n_tasks=4, execute_data=True)
+        with pytest.raises(ReproError):
+            run_orwl_matmul(fig2_machine(), cfg, affinity=False)
+
+
+class TestPerformanceShape:
+    def test_flops_counted_exactly(self):
+        n = 512
+        cfg = MatmulConfig(n=n, n_tasks=8)
+        res = run_orwl_matmul(fig2_machine(), cfg, affinity=True)
+        assert res.compute_counters.flops == pytest.approx(matmul_flops(n))
+
+    def test_single_task_rate_near_mkl_core(self):
+        res = run_orwl_matmul(smp12e5(), MatmulConfig(n=2048, n_tasks=1),
+                              affinity=True)
+        assert 8.0 < res.gflops < 16.0
+
+    def test_affinity_scales_past_sockets(self):
+        """The Fig. 5 headline: ORWL(affinity) keeps scaling where MKL
+        stops; 64 tasks must deliver > 4x the 8-task rate."""
+        g8 = run_orwl_matmul(smp12e5(), MatmulConfig(n=4096, n_tasks=8),
+                             affinity=True, seed=1).gflops
+        g64 = run_orwl_matmul(smp12e5(), MatmulConfig(n=4096, n_tasks=64),
+                              affinity=True, seed=1).gflops
+        assert g64 > 4 * g8
+
+    def test_affinity_beats_native(self):
+        cfg = MatmulConfig(n=4096, n_tasks=64)
+        nat = run_orwl_matmul(smp20e7(), cfg, affinity=False, seed=1)
+        aff = run_orwl_matmul(smp20e7(), cfg, affinity=True, seed=1)
+        assert aff.gflops > nat.gflops
+
+    def test_affinity_zero_migrations(self):
+        cfg = MatmulConfig(n=1024, n_tasks=16)
+        res = run_orwl_matmul(smp20e7(), cfg, affinity=True, seed=1)
+        assert res.counters.cpu_migrations == 0

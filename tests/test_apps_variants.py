@@ -1,0 +1,86 @@
+"""Cross-variant application behaviours the paper remarks on."""
+
+import pytest
+
+from repro.apps.lk23 import Lk23Config, run_openmp_lk23, run_orwl_lk23
+from repro.apps.matmul import MatmulConfig, run_orwl_matmul
+from repro.apps.video import VideoConfig, run_openmp_video, run_orwl_video
+from repro.openmp.mkl import threaded_dgemm
+from repro.topology import smp12e5, smp12e5_4s, smp20e7, smp20e7_4s
+
+
+class TestLk23OpenmpBindings:
+    def test_close_and_spread_equivalent(self):
+        """Sec. VI-B.1: 'OMP_PROC_BIND=close/spread (both implementations
+        giving the same results)' — with master-homed data neither choice
+        can matter much."""
+        cfg = Lk23Config(n=2048, iterations=4, n_threads=32)
+        close = run_openmp_lk23(smp12e5(), cfg, binding="close", seed=1)
+        spread = run_openmp_lk23(smp12e5(), cfg, binding="spread", seed=1)
+        assert close.seconds == pytest.approx(spread.seconds, rel=0.25)
+
+    def test_binding_kills_migrations(self):
+        cfg = Lk23Config(n=1024, iterations=3, n_threads=16)
+        for binding in ("close", "spread", "compact", "scatter"):
+            res = run_openmp_lk23(smp20e7(), cfg, binding=binding, seed=1)
+            assert res.counters.cpu_migrations == 0, binding
+
+
+class TestSingleThreadAgreement:
+    def test_all_single_core_rates_agree(self):
+        """At one core every variant runs the same serial workload; times
+        must agree within the model's jitter (Fig. 4/5 leftmost points)."""
+        cfg = Lk23Config(n=1024, iterations=3, n_threads=1)
+        orwl = run_orwl_lk23(smp12e5(), cfg, affinity=True, seed=1)
+        omp = run_openmp_lk23(smp12e5(), cfg, binding="close", seed=1)
+        assert orwl.seconds == pytest.approx(omp.seconds, rel=0.35)
+
+    def test_matmul_single_task_matches_mkl_single(self):
+        n = 1024
+        orwl = run_orwl_matmul(smp20e7(), MatmulConfig(n=n, n_tasks=1),
+                               affinity=True, seed=1)
+        mkl = threaded_dgemm(smp20e7(), n, 1, binding="close", seed=1)
+        assert orwl.gflops == pytest.approx(mkl.gflops, rel=0.15)
+
+
+class TestVideoVariants:
+    def test_n_dilate_changes_task_count(self):
+        assert VideoConfig(n_dilate=2).n_tasks == 28
+        assert VideoConfig(n_dilate=4).n_tasks == 30
+
+    def test_smaller_splits_still_run(self):
+        cfg = VideoConfig(resolution="HD", frames=4, gmm_split=8, ccl_split=2)
+        res, out = run_orwl_video(smp20e7_4s(), cfg, affinity=True, seed=1)
+        assert out["frames_done"] == 4
+
+    def test_openmp_video_team_size_matters(self):
+        cfg = VideoConfig(resolution="FullHD", frames=8)
+        t4 = run_openmp_video(smp12e5_4s(), cfg, 4, binding="close", seed=1)
+        t30 = run_openmp_video(smp12e5_4s(), cfg, 30, binding="close", seed=1)
+        assert t30.seconds < t4.seconds
+
+    def test_both_machines_affinity_wins_fullhd(self):
+        cfg = VideoConfig(resolution="FullHD", frames=10)
+        for topo_fn in (smp12e5_4s, smp20e7_4s):
+            nat, _ = run_orwl_video(topo_fn(), cfg, affinity=False, seed=1)
+            aff, _ = run_orwl_video(topo_fn(), cfg, affinity=True, seed=1)
+            assert aff.seconds <= nat.seconds
+
+
+class TestOversubscribedApps:
+    def test_lk23_more_threads_than_cores(self):
+        """Dimensioning beyond the machine (the paper's 'some applications
+        may have a minimum requirement for the number of tasks')."""
+        cfg = Lk23Config(n=1024, iterations=2, n_threads=48)  # 48 > 32 PUs
+        from repro.topology import fig2_machine
+
+        res = run_orwl_lk23(fig2_machine(), cfg, affinity=True, seed=1)
+        assert res.placement.oversub_factor >= 2
+        assert res.seconds > 0
+
+    def test_matmul_oversubscribed(self):
+        from repro.topology import fig2_machine
+
+        cfg = MatmulConfig(n=1024, n_tasks=40)
+        res = run_orwl_matmul(fig2_machine(), cfg, affinity=True, seed=1)
+        assert res.placement.oversub_factor == 2

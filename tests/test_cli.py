@@ -1,0 +1,68 @@
+"""Tests for the repro-paper command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "3"])  # no Fig. 3 in the paper
+
+    def test_table_choices(self):
+        args = build_parser().parse_args(["table", "2"])
+        assert args.number == 2
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "SMP12E5" in out and "SMP20E7" in out
+
+    def test_topology(self, capsys):
+        assert main(["topology", "SMP20E7-4S", "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "NUMANode" in out
+        assert "PU" not in out  # depth-limited
+
+    def test_topology_unknown_machine(self, capsys):
+        assert main(["topology", "CRAY-1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_comm_matrix(self, capsys):
+        assert main(["comm-matrix"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 30
+
+    def test_allocation(self, capsys):
+        assert main(["allocation"]) == 0
+        out = capsys.readouterr().out
+        assert "reserved for control" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "NUMAlink" in capsys.readouterr().out
+
+    def test_dfg_emits_dot(self, capsys):
+        assert main(["dfg"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "tracking" in out
+
+    def test_fig4_tiny_scale(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["fig", "4", "--machine", "SMP20E7"]) == 0
+        out = capsys.readouterr().out
+        assert "ORWL (affinity)" in out
+        assert "128" in out  # the machine's largest core count
+
+    def test_table2_tiny_scale(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["table", "2"]) == 0
+        assert "CPU migrations" in capsys.readouterr().out

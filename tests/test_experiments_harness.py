@@ -1,0 +1,142 @@
+"""Tests for the experiment harness: scales, series, report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    PAPER,
+    QUICK,
+    Scale,
+    current_scale,
+    fig1_comm_matrix,
+    fig2_allocation,
+    fig4_lk23,
+    fig5_matmul,
+    fig6_video,
+    format_figure,
+    format_table,
+    table1_machines,
+)
+from repro.experiments.figures import comm_matrix_ascii
+from repro.experiments.report import format_counter_rows
+from repro.experiments.runner import FigureResult, Series
+from repro.experiments.tables import CounterRow
+
+TINY = Scale("tiny", lk23_n=256, lk23_iterations=2, matmul_n=512,
+             video_frames=3, video_frames_4k=2)
+
+
+class TestScales:
+    def test_defaults(self):
+        assert QUICK.name == "quick"
+        assert PAPER.lk23_n == 16384
+        assert PAPER.lk23_iterations == 100
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale() is QUICK
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert current_scale() is PAPER
+        monkeypatch.setenv("REPRO_SCALE", "enormous")
+        with pytest.raises(ReproError):
+            current_scale()
+
+    def test_scale_validation(self):
+        with pytest.raises(ReproError):
+            Scale("bad", 0, 1, 1, 1, 1)
+
+
+class TestSeries:
+    def test_value_at(self):
+        s = Series("a", [1, 2, 3], [10.0, 20.0, 30.0])
+        assert s.value_at(2) == 20.0
+        with pytest.raises(ReproError):
+            s.value_at(99)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            Series("a", [1], [1.0, 2.0])
+
+    def test_figure_lookup(self):
+        fig = FigureResult("f", "t", "x", "y", [Series("a", [1], [1.0])])
+        assert fig.series_by_label("a").y == [1.0]
+        with pytest.raises(ReproError):
+            fig.series_by_label("missing")
+
+
+class TestFigureGeneration:
+    def test_fig4_series_structure(self):
+        fig = fig4_lk23("SMP12E5", scale=TINY, cores=[4, 8])
+        assert {s.label for s in fig.series} == {
+            "ORWL", "ORWL (affinity)", "OpenMP", "OpenMP (affinity)",
+        }
+        for s in fig.series:
+            assert s.x == [4, 8]
+            assert all(v > 0 for v in s.y)
+
+    def test_fig4_unknown_machine(self):
+        with pytest.raises(ReproError):
+            fig4_lk23("VAX-11", scale=TINY)
+
+    def test_fig5_series_structure(self):
+        fig = fig5_matmul("SMP20E7", scale=TINY, cores=[2, 8])
+        assert len(fig.series) == 5
+        assert all(len(s.y) == 2 for s in fig.series)
+
+    def test_fig6_requires_4s_machine(self):
+        with pytest.raises(ReproError):
+            fig6_video("SMP12E5", scale=TINY)
+
+    def test_fig6_series(self):
+        fig = fig6_video("SMP20E7-4S", scale=TINY, resolutions=["HD"])
+        assert {s.label for s in fig.series} == {
+            "Sequential", "OpenMP", "OpenMP (Affinity)", "ORWL",
+            "ORWL (Affinity)",
+        }
+
+    def test_fig1_reproducible(self):
+        a, _ = fig1_comm_matrix()
+        b, _ = fig1_comm_matrix()
+        assert np.array_equal(a.raw, b.raw)
+
+    def test_fig2_renders_labels(self):
+        text, info = fig2_allocation()
+        assert "producer" in text
+        assert "gmm" in text
+        assert "<control>" in text
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.000001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+
+    def test_format_figure(self):
+        fig = FigureResult(
+            "figX", "demo", "cores", "s",
+            [Series("one", [1, 2], [0.5, 0.25])],
+        )
+        out = format_figure(fig)
+        assert "figX: demo [s]" in out
+        assert "one" in out
+
+    def test_format_counter_rows(self):
+        rows = [CounterRow("V", 1e9, 2e9, 100, 0, 1.5)]
+        out = format_counter_rows("T", rows)
+        assert "CPU migrations" in out
+        assert "V" in out
+
+    def test_comm_matrix_ascii_shapes(self):
+        comm, _ = fig1_comm_matrix()
+        art = comm_matrix_ascii(comm, width=1)
+        lines = art.splitlines()
+        assert len(lines) == comm.order
+        assert all(len(line) == comm.order for line in lines)
+
+    def test_table1_contents(self):
+        rows = table1_machines()
+        assert [r["Name"] for r in rows] == ["SMP12E5", "SMP20E7"]
+        assert rows[0]["Clock rate"] == "2600MHz"

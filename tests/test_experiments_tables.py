@@ -1,0 +1,58 @@
+"""Tiny-scale unit tests for the counter-table generators."""
+
+import pytest
+
+from repro.experiments import (
+    TINY,
+    table2_lk23_counters,
+    table3_matmul_counters,
+    table4_video_counters,
+)
+from repro.experiments.tables import CounterRow
+
+
+class TestCounterRow:
+    def test_from_counters(self):
+        from repro.sim.counters import Counters
+
+        c = Counters()
+        c.l3_misses = 7
+        c.context_switches = 3
+        row = CounterRow.from_counters("X", c, 1.5)
+        assert row.variant == "X"
+        assert row.l3_misses == 7
+        assert row.seconds == 1.5
+
+
+class TestTableGenerators:
+    def test_table2_variants_and_ordering(self):
+        rows = table2_lk23_counters(scale=TINY, cores=16)
+        assert [r.variant for r in rows] == [
+            "ORWL", "ORWL (Affinity)", "OpenMP", "OpenMP (Affinity)",
+        ]
+        by = {r.variant: r for r in rows}
+        assert by["ORWL (Affinity)"].cpu_migrations == 0
+        assert by["OpenMP (Affinity)"].cpu_migrations == 0
+        assert all(r.seconds > 0 for r in rows)
+
+    def test_table3_variants(self):
+        rows = table3_matmul_counters(scale=TINY, cores=16)
+        assert [r.variant for r in rows] == [
+            "ORWL", "ORWL (Affinity)", "MKL",
+            "MKL (Affinity scatter)", "MKL (Affinity compact)",
+        ]
+        by = {r.variant: r for r in rows}
+        assert by["ORWL (Affinity)"].cpu_migrations == 0
+        assert by["MKL (Affinity scatter)"].cpu_migrations == 0
+
+    def test_table4_variants(self):
+        rows = table4_video_counters(scale=TINY)
+        assert [r.variant for r in rows] == [
+            "ORWL", "ORWL (Affinity)", "OpenMP", "OpenMP (Affinity)",
+        ]
+        assert all(r.seconds > 0 for r in rows)
+
+    def test_custom_machine_choice(self):
+        rows = table2_lk23_counters(scale=TINY, cores=8,
+                                    machine_name="SMP20E7")
+        assert len(rows) == 4

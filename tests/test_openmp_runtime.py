@@ -1,0 +1,182 @@
+"""Tests for the OpenMP-like fork-join runtime and its affinity knobs."""
+
+import pytest
+
+from repro.errors import OpenMPError
+from repro.openmp import OpenMPRuntime, omp_binding, threaded_dgemm
+from repro.openmp.runtime import _static_chunks
+from repro.sim.process import Compute, Touch
+from repro.topology import fig2_machine, smp12e5, smp20e7
+
+
+class TestStaticChunks:
+    def test_even_split(self):
+        assert _static_chunks(8, 4) == [range(0, 2), range(2, 4), range(4, 6), range(6, 8)]
+
+    def test_remainder_to_first(self):
+        shares = _static_chunks(7, 3)
+        assert [len(s) for s in shares] == [3, 2, 2]
+        assert shares[0] == range(0, 3)
+
+    def test_more_threads_than_items(self):
+        shares = _static_chunks(2, 4)
+        assert [len(s) for s in shares] == [1, 1, 0, 0]
+
+    def test_zero_items(self):
+        assert all(len(s) == 0 for s in _static_chunks(0, 3))
+
+
+class TestBindingMap:
+    def test_none_is_unbound(self):
+        assert omp_binding(fig2_machine(), 8, None) is None
+
+    def test_close_uses_one_pu_per_core(self):
+        topo = smp12e5()
+        b = omp_binding(topo, 4, "close")
+        assert list(b.values()) == [0, 2, 4, 6]
+
+    def test_compact_packs_siblings(self):
+        topo = smp12e5()
+        b = omp_binding(topo, 4, "compact")
+        assert list(b.values()) == [0, 1, 2, 3]
+
+    def test_spread_and_scatter_cross_sockets(self):
+        topo = fig2_machine()
+        for strategy in ("spread", "scatter"):
+            b = omp_binding(topo, 4, strategy)
+            sockets = {topo.socket_of_pu(pu).logical_index for pu in b.values()}
+            assert len(sockets) == 4, strategy
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(OpenMPError):
+            omp_binding(fig2_machine(), 4, "bogus")
+
+
+class TestForkJoin:
+    def test_all_items_execute_once(self):
+        omp = OpenMPRuntime(fig2_machine(), 4, binding="close")
+        seen = []
+
+        def master(rt):
+            def chunk(i):
+                seen.append(i)
+                yield Compute(1e4)
+
+            yield from rt.parallel_for(10, chunk)
+
+        omp.run(master)
+        assert sorted(seen) == list(range(10))
+
+    def test_barrier_separates_regions(self):
+        omp = OpenMPRuntime(fig2_machine(), 4, binding="close")
+        phases = []
+
+        def master(rt):
+            def phase_a(i):
+                phases.append(("a", i))
+                yield Compute(1e5)
+
+            def phase_b(i):
+                phases.append(("b", i))
+                yield Compute(1e4)
+
+            yield from rt.parallel_for(8, phase_a)
+            yield from rt.parallel_for(8, phase_b)
+
+        omp.run(master)
+        last_a = max(k for k, p in enumerate(phases) if p[0] == "a")
+        first_b = min(k for k, p in enumerate(phases) if p[0] == "b")
+        assert last_a < first_b
+
+    def test_parallel_speeds_up(self):
+        def master(rt):
+            def chunk(i):
+                yield Compute(2.6e8)
+
+            yield from rt.parallel_for(8, chunk)
+
+        t1 = OpenMPRuntime(fig2_machine(), 1, binding="close").run(master).seconds
+
+        def master2(rt):
+            def chunk(i):
+                yield Compute(2.6e8)
+
+            yield from rt.parallel_for(8, chunk)
+
+        t8 = OpenMPRuntime(fig2_machine(), 8, binding="close").run(master2).seconds
+        assert t8 < t1 / 4
+
+    def test_master_first_touch_homes_on_node0(self):
+        omp = OpenMPRuntime(fig2_machine(), 4, binding="close")
+        bufs = {}
+
+        def master(rt):
+            bufs["a"] = rt.allocate(1 << 16, "a")
+            yield Touch(bufs["a"], write=True)
+
+        omp.run(master)
+        assert bufs["a"].home_numa == 0
+
+    def test_dynamic_schedule_unsupported(self):
+        omp = OpenMPRuntime(fig2_machine(), 2, binding="close")
+
+        def master(rt):
+            yield from rt.parallel_for(4, lambda i: iter([]), schedule="dynamic")
+
+        with pytest.raises(OpenMPError):
+            omp.run(master)
+
+    def test_run_once(self):
+        omp = OpenMPRuntime(fig2_machine(), 2)
+
+        def master(rt):
+            yield Compute(1.0)
+
+        omp.run(master)
+        with pytest.raises(OpenMPError):
+            omp.run(master)
+
+    def test_bad_thread_count(self):
+        with pytest.raises(OpenMPError):
+            OpenMPRuntime(fig2_machine(), 0)
+
+    def test_result_fields(self):
+        omp = OpenMPRuntime(fig2_machine(), 2, binding="scatter")
+
+        def master(rt):
+            yield Compute(100.0)
+
+        res = omp.run(master)
+        assert res.n_threads == 2
+        assert res.binding == "scatter"
+        assert res.seconds > 0
+
+
+class TestThreadedDgemm:
+    def test_flops_accounted_exactly(self):
+        n = 512
+        res = threaded_dgemm(fig2_machine(), n, 4, binding="close")
+        assert res.counters.flops == pytest.approx(2.0 * n**3)
+
+    def test_single_thread_rate_matches_mkl_core(self):
+        # ~12 GF/s per core as in the paper's 8-core ≈ 95 GF/s runs.
+        res = threaded_dgemm(smp12e5(), 2048, 1, binding="close")
+        assert 8.0 < res.gflops < 16.0
+
+    def test_scaling_plateaus_past_sockets(self):
+        """The Fig. 5 signature: MKL stops scaling beyond a couple of
+        sockets regardless of binding."""
+        g16 = threaded_dgemm(smp12e5(), 4096, 16, binding="scatter").gflops
+        g96 = threaded_dgemm(smp12e5(), 4096, 96, binding="scatter").gflops
+        assert g96 < 2 * g16
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(OpenMPError):
+            threaded_dgemm(fig2_machine(), 0, 4)
+
+    def test_compact_suffers_on_ht_machine(self):
+        """KMP compact puts two compute threads on HT siblings (Sec.
+        VI-B.2): worse than scatter inside one socket's worth of threads."""
+        compact = threaded_dgemm(smp12e5(), 2048, 8, binding="compact").gflops
+        scatter = threaded_dgemm(smp12e5(), 2048, 8, binding="scatter").gflops
+        assert compact < scatter

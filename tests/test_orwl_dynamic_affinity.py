@@ -1,0 +1,101 @@
+"""The paper's advanced affinity API: dynamic re-mapping at run time.
+
+Sec. IV-B: "to handle dynamic situations where ... the affinity between
+tasks change at run time ... the new affinity is computed by explicitly
+calling orwl_dependency_get, then orwl_affinity_compute, and the new
+thread mapping is committed with orwl_affinity_set."
+
+Simulated-thread bodies may call these synchronously between yields; new
+bindings take effect at each thread's next dispatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.orwl import Runtime
+from repro.sim.process import Compute
+from repro.topology import smp20e7
+
+
+def test_midrun_remap_changes_bindings_and_completes():
+    rt = Runtime(smp20e7(), affinity=True, seed=1)
+    n, iters = 8, 8
+    tasks = [rt.task(f"t{i}") for i in range(n)]
+    locs = [t.location("loc", 1 << 16) for t in tasks]
+    handles = {}
+    for i, t in enumerate(tasks):
+        handles[i, "w"] = t.write_handle(locs[i], iterative=True)
+        # Every task reads both neighbours; traffic weights decide the
+        # placement and will be mutated mid-run.
+        handles[i, "r+"] = t.read_handle(locs[(i + 1) % n], iterative=True)
+        handles[i, "r-"] = t.read_handle(locs[(i - 1) % n], iterative=True)
+        handles[i, "r+"].traffic = 1.0
+        handles[i, "r-"].traffic = 1e6
+
+    bindings_log = []
+
+    for i, t in enumerate(tasks):
+
+        def body(op, i=i):
+            hw, hp, hm = handles[i, "w"], handles[i, "r+"], handles[i, "r-"]
+            for it in range(iters):
+                if i == 0 and it == iters // 2:
+                    # The communication pattern flips: heavy traffic now
+                    # flows the other way around the ring. Re-map.
+                    for j in range(n):
+                        handles[j, "r+"].traffic = 1e6
+                        handles[j, "r-"].traffic = 1.0
+                    rt.dependency_get()
+                    rt.affinity_compute()
+                    rt.affinity_set()
+                    bindings_log.append(
+                        {t2.name: t2.cpuset for t2 in rt.machine.threads
+                         if t2.kind == "compute"}
+                    )
+                yield from hw.acquire()
+                yield Compute(1e5)
+                hw.release()
+                for h in (hp, hm):
+                    yield from h.acquire()
+                    yield h.touch(64)
+                    h.release()
+
+        t.set_body(body)
+
+    res = rt.run()
+    assert res.seconds > 0
+    assert len(bindings_log) == 1
+    # Every compute thread is still bound after the re-map.
+    assert all(cs is not None for cs in bindings_log[0].values())
+
+
+def test_remap_is_noop_when_matrix_unchanged():
+    rt = Runtime(smp20e7(), affinity=True, seed=1)
+    tasks = [rt.task(f"t{i}") for i in range(4)]
+    locs = [t.location("loc", 4096) for t in tasks]
+    before_after = []
+
+    for i, t in enumerate(tasks):
+        hw = t.write_handle(locs[i], iterative=True)
+        hr = t.read_handle(locs[i - 1], iterative=True)
+
+        def body(op, i=i, hw=hw, hr=hr):
+            for it in range(4):
+                if i == 0 and it == 2:
+                    before = dict(rt.affinity.placement.thread_to_pu)
+                    rt.dependency_get()
+                    rt.affinity_compute()
+                    rt.affinity_set()
+                    before_after.append(
+                        (before, dict(rt.affinity.placement.thread_to_pu))
+                    )
+                yield from hw.acquire()
+                hw.release()
+                yield from hr.acquire()
+                hr.release()
+
+        t.set_body(body)
+
+    rt.run()
+    before, after = before_after[0]
+    assert before == after  # deterministic: same matrix, same mapping

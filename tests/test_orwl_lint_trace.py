@@ -1,0 +1,165 @@
+"""Tests for the program linter and the trace Gantt rendering."""
+
+import pytest
+
+from repro.orwl import Runtime
+from repro.sim.process import Compute
+from repro.topology import fig2_machine
+
+
+def issue_codes(rt):
+    return sorted(i.code for i in rt.validate())
+
+
+class TestLint:
+    def test_clean_pipeline_has_no_warnings(self):
+        rt = Runtime(fig2_machine(), affinity=False)
+        a, b = rt.task("a"), rt.task("b")
+        loc = a.location("chan", 64)
+        a.write_handle(loc, iterative=True)
+        b.read_handle(loc, iterative=True)
+        issues = rt.validate()
+        assert [i for i in issues if i.level == "warning"] == []
+
+    def test_unread_location_noted(self):
+        rt = Runtime(fig2_machine(), affinity=False)
+        a = rt.task("a")
+        loc = a.location("out", 64)
+        a.write_handle(loc, iterative=True)
+        assert "unread-location" in issue_codes(rt)
+
+    def test_writerless_location_warned(self):
+        rt = Runtime(fig2_machine(), affinity=False)
+        a, b = rt.task("a"), rt.task("b")
+        loc = a.location("src", 64)
+        b.read_handle(loc, iterative=True)
+        codes = issue_codes(rt)
+        assert "writerless-location" in codes
+        assert "absent-owner" in codes
+
+    def test_orphan_location_warned(self):
+        rt = Runtime(fig2_machine(), affinity=False)
+        a = rt.task("a")
+        a.location("dead", 64)
+        assert "orphan-location" in issue_codes(rt)
+
+    def test_handleless_operation_noted(self):
+        rt = Runtime(fig2_machine(), affinity=False)
+        a, b = rt.task("a"), rt.task("b")
+        loc = a.location("x", 64)
+        a.write_handle(loc, iterative=True)
+        b.main_op  # op with no handles
+        assert "handleless-operation" in issue_codes(rt)
+
+    def test_mixed_iteration_noted(self):
+        rt = Runtime(fig2_machine(), affinity=False)
+        a, b = rt.task("a"), rt.task("b")
+        loc = a.location("x", 64)
+        a.write_handle(loc, iterative=True)
+        b.read_handle(loc, iterative=False)
+        assert "mixed-iteration" in issue_codes(rt)
+
+    def test_issue_levels(self):
+        rt = Runtime(fig2_machine(), affinity=False)
+        a = rt.task("a")
+        a.location("dead", 64)
+        levels = {i.level for i in rt.validate()}
+        assert levels <= {"warning", "note"}
+
+
+class TestGantt:
+    def run_traced(self):
+        rt = Runtime(fig2_machine(), affinity=True, trace=True)
+        a, b = rt.task("a"), rt.task("b")
+        loc = a.location("chan", 4096)
+        hw = a.write_handle(loc, iterative=True)
+        hr = b.read_handle(loc, iterative=True)
+
+        def wbody(op):
+            for _ in range(3):
+                yield from hw.acquire()
+                yield Compute(1e6)
+                hw.release()
+
+        def rbody(op):
+            for _ in range(3):
+                yield from hr.acquire()
+                yield Compute(1e6)
+                hr.release()
+
+        a.set_body(wbody)
+        b.set_body(rbody)
+        res = rt.run()
+        return res
+
+    def test_gantt_renders_rows(self):
+        res = self.run_traced()
+        chart = res.machine.trace.gantt(
+            names={t.tid: t.name for t in res.machine.threads}, width=40
+        )
+        lines = chart.splitlines()
+        assert len(lines) == len(res.machine.threads)
+        assert any("#" in ln for ln in lines)
+        assert any("a/op0" in ln for ln in lines)
+
+    def test_gantt_width_respected(self):
+        res = self.run_traced()
+        chart = res.machine.trace.gantt(width=25)
+        for line in chart.splitlines():
+            bar = line.split("|")[1]
+            assert len(bar) == 25
+
+    def test_empty_trace(self):
+        from repro.sim.trace import Trace
+
+        assert Trace().gantt() == "(empty trace)"
+
+    def test_max_threads_cap(self):
+        res = self.run_traced()
+        chart = res.machine.trace.gantt(max_threads=1)
+        assert len(chart.splitlines()) == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        def run(seed):
+            rt = Runtime(fig2_machine(), affinity=False, seed=seed)
+            tasks = [rt.task(f"t{i}") for i in range(6)]
+            locs = [t.location("l", 8192) for t in tasks]
+            for i, t in enumerate(tasks):
+                hw = t.write_handle(locs[i], iterative=True)
+                hr = t.read_handle(locs[i - 1], iterative=True)
+
+                def body(op, hw=hw, hr=hr):
+                    for _ in range(5):
+                        yield from hw.acquire()
+                        yield Compute(2e6)
+                        hw.release()
+                        yield from hr.acquire()
+                        yield hr.touch()
+                        hr.release()
+
+                t.set_body(body)
+            res = rt.run()
+            return (res.seconds, res.counters.cpu_migrations,
+                    res.counters.context_switches, res.counters.l3_misses)
+
+        assert run(7) == run(7)
+
+    def test_different_seed_may_differ_but_completes(self):
+        def run(seed):
+            rt = Runtime(fig2_machine(), affinity=False, seed=seed)
+            t = rt.task("t")
+            loc = t.location("l", 64)
+            h = t.write_handle(loc, iterative=True)
+
+            def body(op):
+                for _ in range(50):
+                    yield from h.acquire()
+                    yield Compute(5e7)
+                    h.release()
+
+            t.set_body(body)
+            return rt.run().seconds
+
+        assert run(1) > 0 and run(2) > 0

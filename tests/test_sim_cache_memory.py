@@ -1,0 +1,223 @@
+"""Direct unit tests for the cache/memory models (below machine level)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.cache import CacheSystem, L3State
+from repro.sim.counters import Counters
+from repro.sim.memory import MemorySystem
+from repro.sim.params import CostModel
+from repro.topology import fig2_machine, smp12e5
+
+
+def make_mem(topo=None, model=None):
+    topo = topo or fig2_machine()
+    model = model or CostModel()
+    return topo, model, MemorySystem(topo, model)
+
+
+class TestL3State:
+    def test_install_and_resident(self):
+        l3 = L3State(1000)
+        l3.install(1, 400)
+        assert l3.resident_bytes(1) == 400
+        assert l3.used == 400
+
+    def test_install_grows_not_shrinks(self):
+        l3 = L3State(1000)
+        l3.install(1, 400)
+        l3.install(1, 100)  # smaller touch must not drop residency
+        assert l3.resident_bytes(1) == 400
+
+    def test_lru_eviction(self):
+        l3 = L3State(1000)
+        l3.install(1, 600)
+        l3.install(2, 600)  # evicts 1
+        assert l3.resident_bytes(1) == 0
+        assert l3.resident_bytes(2) == 600
+        assert l3.used == 600
+
+    def test_touch_lru_protects(self):
+        l3 = L3State(1000)
+        l3.install(1, 400)
+        l3.install(2, 400)
+        l3.touch_lru(1)  # 1 now most recent
+        l3.install(3, 400)  # must evict 2, not 1
+        assert l3.resident_bytes(1) == 400
+        assert l3.resident_bytes(2) == 0
+
+    def test_invalidate_and_flush(self):
+        l3 = L3State(1000)
+        l3.install(1, 300)
+        l3.invalidate(1)
+        assert l3.used == 0
+        l3.install(2, 300)
+        l3.flush()
+        assert l3.resident_bytes(2) == 0
+
+    def test_capacity_positive(self):
+        with pytest.raises(SimulationError):
+            L3State(0)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(1, 2000)),
+                    max_size=30))
+    @settings(max_examples=50)
+    def test_used_never_exceeds_capacity(self, ops):
+        l3 = L3State(1024)
+        for buf_id, nbytes in ops:
+            l3.install(buf_id, nbytes)
+            assert 0 <= l3.used <= 1024
+            assert l3.resident_bytes(buf_id) <= 1024
+
+
+class TestMemorySystem:
+    def test_numa_of_pu(self):
+        topo, _, mem = make_mem()
+        assert mem.numa_of_pu(0) == 0
+        assert mem.numa_of_pu(31) == 3
+        with pytest.raises(SimulationError):
+            mem.numa_of_pu(999)
+
+    def test_first_touch_once(self):
+        _, _, mem = make_mem()
+        buf = mem.allocate(64, "b")
+        assert buf.home_numa is None
+        assert mem.first_touch(buf, 17) == 2
+        assert mem.first_touch(buf, 0) == 2  # sticky
+
+    def test_miss_cost_monotone_in_distance(self):
+        _, _, mem = make_mem(smp12e5())
+        local = mem.miss_cycles_per_line(0, 0)
+        near = mem.miss_cycles_per_line(0, 1)
+        far = mem.miss_cycles_per_line(0, 8)
+        assert local < near < far
+
+    def test_reserve_bandwidth_serializes(self):
+        _, model, mem = make_mem()
+        horizon1 = mem.reserve_bandwidth(0, 1 << 20, now=0.0)
+        horizon2 = mem.reserve_bandwidth(0, 1 << 20, now=0.0)
+        expected = (1 << 20) * model.node_bandwidth_cyc_per_byte
+        assert horizon1 == pytest.approx(expected)
+        assert horizon2 == pytest.approx(2 * expected)
+
+    def test_reserve_bandwidth_idle_gap(self):
+        _, model, mem = make_mem()
+        mem.reserve_bandwidth(0, 1000, now=0.0)
+        # After the node went idle, a later request starts fresh.
+        h = mem.reserve_bandwidth(0, 1000, now=1e9)
+        assert h == pytest.approx(1e9 + 1000 * model.node_bandwidth_cyc_per_byte)
+
+    def test_reserve_zero_is_noop(self):
+        _, _, mem = make_mem()
+        assert mem.reserve_bandwidth(0, 0, now=5.0) == 5.0
+
+    def test_nodes_independent(self):
+        _, _, mem = make_mem()
+        mem.reserve_bandwidth(0, 1 << 30, now=0.0)
+        h = mem.reserve_bandwidth(1, 64, now=0.0)
+        assert h < 100
+
+
+class TestCacheSystem:
+    def make(self):
+        topo = fig2_machine()
+        model = CostModel()
+        mem = MemorySystem(topo, model)
+        return topo, model, mem, CacheSystem(topo, model, mem)
+
+    def test_pu_to_l3_mapping(self):
+        _, _, _, caches = self.make()
+        assert caches.l3_index_of_pu(0) == caches.l3_index_of_pu(7)
+        assert caches.l3_index_of_pu(0) != caches.l3_index_of_pu(8)
+        with pytest.raises(SimulationError):
+            caches.l3_index_of_pu(999)
+
+    def test_cold_touch_all_misses(self):
+        _, model, mem, caches = self.make()
+        buf = mem.allocate(64 * 100, "b")
+        c = Counters()
+        res = caches.touch(0, buf, 64 * 100, write=False, counters=c)
+        assert c.l3_misses == 100
+        assert c.l3_hits == 0
+        assert res.miss_bytes == 64 * 100
+        assert res.home_numa == 0
+
+    def test_warm_touch_hits(self):
+        _, _, mem, caches = self.make()
+        buf = mem.allocate(64 * 100, "b")
+        c = Counters()
+        caches.touch(0, buf, 64 * 100, write=False, counters=c)
+        res = caches.touch(0, buf, 64 * 100, write=False, counters=c)
+        assert res.miss_bytes == 0
+        assert c.l3_hits == 100
+
+    def test_partial_residency_fractional_hits(self):
+        _, _, mem, caches = self.make()
+        buf = mem.allocate(64 * 100, "b")
+        c = Counters()
+        caches.touch(0, buf, 64 * 50, write=False, counters=c)  # half resident
+        res = caches.touch(0, buf, 64 * 50, write=False, counters=c)
+        # hit fraction = 50/100 on the second (random-slice model)
+        assert res.miss_bytes == pytest.approx(64 * 25)
+
+    def test_write_invalidates_remote_l3s_only(self):
+        _, _, mem, caches = self.make()
+        buf = mem.allocate(4096, "b")
+        c = Counters()
+        caches.touch(0, buf, 4096, write=False, counters=c)   # socket 0
+        caches.touch(8, buf, 4096, write=False, counters=c)   # socket 1
+        caches.touch(0, buf, 4096, write=True, counters=c)    # invalidates s1
+        assert caches.l3_of_pu(0).resident_bytes(buf.buf_id) > 0
+        assert caches.l3_of_pu(8).resident_bytes(buf.buf_id) == 0
+
+    def test_zero_byte_touch_free_but_homes(self):
+        _, _, mem, caches = self.make()
+        buf = mem.allocate(4096, "b")
+        res = caches.touch(9, buf, 0, write=False, counters=Counters())
+        assert res.cycles == 0
+        assert buf.home_numa == 1
+
+    def test_streaming_self_eviction(self):
+        topo, model, mem, caches = self.make()
+        cap = caches.l3_of_pu(0).capacity
+        buf = mem.allocate(cap * 2, "big")
+        c = Counters()
+        caches.touch(0, buf, cap * 2, write=False, counters=c)
+        assert caches.l3_of_pu(0).resident_bytes(buf.buf_id) == 0
+
+    def test_remote_bytes_tracked(self):
+        _, _, mem, caches = self.make()
+        buf = mem.allocate(4096, "b", home_numa=3)
+        c = Counters()
+        caches.touch(0, buf, 4096, write=False, counters=c)
+        assert c.remote_bytes == 4096
+
+
+class TestCounters:
+    def test_add_merges_everything(self):
+        a, b = Counters(), Counters()
+        a.l3_misses = 5
+        a.context_switches = 2
+        b.l3_misses = 3
+        b.cpu_migrations = 7
+        b.flops = 100.0
+        a.add(b)
+        assert a.l3_misses == 8
+        assert a.context_switches == 2
+        assert a.cpu_migrations == 7
+        assert a.flops == 100.0
+
+    def test_snapshot_keys(self):
+        snap = Counters().snapshot()
+        for key in ("l3_misses", "stalled_cycles", "context_switches",
+                    "cpu_migrations", "flops"):
+            assert key in snap
+
+    def test_miss_ratio(self):
+        c = Counters()
+        assert c.miss_ratio == 0.0
+        c.l3_misses, c.l3_hits = 1, 3
+        assert c.miss_ratio == 0.25

@@ -1,0 +1,117 @@
+"""Direct unit tests for the OS scheduler models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.memory import MemorySystem
+from repro.sim.params import CostModel
+from repro.sim.process import SimThread
+from repro.sim.scheduler import OSScheduler
+from repro.topology import fig2_machine, smp12e5, smp20e7
+from repro.util.bitmap import Bitmap
+from repro.util.rng import make_rng
+
+
+def make_sched(topo=None, policy=None, **kw):
+    topo = topo or fig2_machine()
+    mem = MemorySystem(topo, CostModel())
+    return OSScheduler(topo, mem, policy=policy, **kw)
+
+
+def thread(tid=0, cpuset=None, last_pu=None):
+    t = SimThread(tid=tid, name=f"t{tid}", gen=iter([]), cpuset=cpuset)
+    t.last_pu = last_pu
+    return t
+
+
+class TestOccupancy:
+    def test_occupy_release_cycle(self):
+        s = make_sched()
+        t = thread()
+        s.occupy(3, t)
+        assert not s.is_free(3)
+        assert s.thread_on(3) is t
+        s.release(3)
+        assert s.is_free(3)
+
+    def test_double_occupy_rejected(self):
+        s = make_sched()
+        s.occupy(0, thread(0))
+        with pytest.raises(SimulationError):
+            s.occupy(0, thread(1))
+
+    def test_release_idle_rejected(self):
+        with pytest.raises(SimulationError):
+            make_sched().release(0)
+
+    def test_free_pus_shrink(self):
+        s = make_sched()
+        n = len(s.free_pus)
+        s.occupy(0, thread())
+        assert len(s.free_pus) == n - 1
+
+
+class TestPlacement:
+    def test_bound_thread_stays_in_cpuset(self):
+        s = make_sched()
+        t = thread(cpuset=Bitmap([5, 6]))
+        assert s.place(t) == 5
+        s.occupy(5, thread(9))
+        assert s.place(t) == 6
+        s.occupy(6, thread(8))
+        assert s.place(t) is None
+
+    def test_bound_thread_prefers_last(self):
+        s = make_sched()
+        t = thread(cpuset=Bitmap([5, 6]), last_pu=6)
+        assert s.place(t) == 6
+
+    def test_sticky_unbound(self):
+        s = make_sched(policy="consolidate")
+        t = thread(last_pu=20)
+        assert s.place(t) == 20
+
+    def test_first_placement_consolidate_starts_node0(self):
+        s = make_sched(smp12e5(), policy="consolidate")
+        assert s.place(thread()) == 0
+
+    def test_first_placement_spread_distributes(self):
+        s = make_sched(smp20e7(), policy="spread")
+        t0, t1 = thread(0), thread(1)
+        p0 = s.place(t0)
+        s.occupy(p0, t0)
+        p1 = s.place(t1)
+        assert s.memory.numa_of_pu(p0) != s.memory.numa_of_pu(p1)
+
+    def test_rebalance_consolidate_picks_lowest(self):
+        s = make_sched(policy="consolidate")
+        t = thread(last_pu=9)
+        assert s.place(t, rebalance=True) == 0
+
+    def test_rebalance_random_migration(self):
+        s = make_sched(policy="consolidate", rng=make_rng(0), migrate_prob=1.0)
+        t = thread(last_pu=9)
+        # With migrate_prob=1 a rebalance never lands on last_pu.
+        for _ in range(10):
+            assert s.place(t, rebalance=True) != 9
+
+    def test_wakeup_migration_probability(self):
+        s = make_sched(policy="consolidate", rng=make_rng(0),
+                       wakeup_migrate_prob=1.0)
+        t = thread(last_pu=9)
+        # Always rebalanced on wake: policy pick = PU 0, not 9.
+        assert s.place(t) == 0
+
+    def test_no_free_pu_returns_none(self):
+        s = make_sched()
+        for pu in list(s.free_pus):
+            s.occupy(pu, thread(pu))
+        assert s.place(thread(99)) is None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            make_sched(policy="chaotic")
+
+    def test_policy_from_topology_attr(self):
+        assert make_sched(smp20e7()).policy == "spread"
+        assert make_sched(smp12e5()).policy == "consolidate"

@@ -1,0 +1,101 @@
+"""Randomized stress tests: simulator invariants under arbitrary programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Compute, SimMachine, Touch, Wait, YieldCPU
+from repro.topology import fig2_machine, smp12e5_4s
+from repro.util.bitmap import Bitmap
+
+op_specs = st.lists(
+    st.one_of(
+        st.tuples(st.just("compute"), st.floats(min_value=1, max_value=1e8)),
+        st.tuples(st.just("touch"), st.integers(min_value=1, max_value=1 << 22)),
+        st.tuples(st.just("yield"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+programs = st.lists(op_specs, min_size=1, max_size=8)
+
+
+def materialize(machine, spec, buf):
+    def gen():
+        for kind, arg in spec:
+            if kind == "compute":
+                yield Compute(arg)
+            elif kind == "touch":
+                yield Touch(buf, min(arg, buf.size), write=bool(int(arg) % 2))
+            else:
+                yield YieldCPU()
+
+    return gen()
+
+
+class TestStress:
+    @settings(max_examples=30, deadline=None)
+    @given(programs, st.booleans(), st.integers(min_value=0, max_value=5))
+    def test_invariants_hold(self, prog, bind, seed):
+        machine = SimMachine(fig2_machine(), seed=seed)
+        buf = machine.allocate(1 << 20, "shared")
+        for i, spec in enumerate(prog):
+            cpuset = Bitmap.single(i % machine.topology.n_pus) if bind else None
+            machine.add_thread(f"t{i}", materialize(machine, spec, buf),
+                               cpuset=cpuset)
+        machine.run()
+        c = machine.total_counters()
+        # Invariant 1: every thread finished.
+        assert all(t.state == "done" for t in machine.threads)
+        # Invariant 2: utilization is a valid fraction.
+        assert 0.0 <= machine.utilization() <= 1.0
+        # Invariant 3: busy time never exceeds elapsed × PUs.
+        assert c.busy_cycles <= machine.elapsed_cycles * machine.topology.n_pus + 1e-6
+        # Invariant 4: counters are non-negative.
+        for value in c.snapshot().values():
+            assert value >= -1e-9
+        # Invariant 5: bound threads never migrate.
+        if bind:
+            assert c.cpu_migrations == 0
+        # Invariant 6: hits+misses account for all touched lines.
+        lines_touched = c.bytes_touched / machine.model.cache_line
+        # (ht-contention inflates misses, so ≥)
+        assert c.l3_misses + c.l3_hits >= lines_touched - 1e-6
+
+    @settings(max_examples=10, deadline=None)
+    @given(programs)
+    def test_deterministic_replay(self, prog):
+        def run():
+            machine = SimMachine(smp12e5_4s(), seed=3)
+            buf = machine.allocate(1 << 18, "b")
+            for i, spec in enumerate(prog):
+                machine.add_thread(f"t{i}", materialize(machine, spec, buf))
+            machine.run()
+            c = machine.total_counters()
+            return (machine.elapsed_cycles, c.l3_misses,
+                    c.context_switches, c.cpu_migrations)
+
+        assert run() == run()
+
+    def test_many_waiters_single_event(self):
+        machine = SimMachine(fig2_machine())
+        ev = machine.event("gate")
+        woken = []
+
+        def waiter(i):
+            yield Wait(ev)
+            woken.append(i)
+            yield Compute(10.0)
+
+        for i in range(12):
+            machine.add_thread(f"w{i}", waiter(i))
+
+        def opener():
+            yield Compute(1e5)
+            ev.signal(12)
+
+        machine.add_thread("opener", opener(), cpuset=Bitmap.single(31))
+        machine.run()
+        assert sorted(woken) == list(range(12))

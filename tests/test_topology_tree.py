@@ -1,0 +1,178 @@
+"""Tests for topology objects, tree construction and hwloc-like queries."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    ObjType,
+    Topology,
+    TopologySpec,
+    build_topology,
+    fig2_machine,
+    smp12e5,
+    smp20e7,
+)
+from repro.topology.objects import CacheAttrs, TopoObject
+
+
+def tiny_spec(**kw):
+    defaults = dict(
+        name="tiny",
+        numa_per_group=2,
+        cores_per_socket=2,
+        pus_per_core=2,
+    )
+    defaults.update(kw)
+    return TopologySpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_counts_must_be_positive(self):
+        with pytest.raises(TopologyError):
+            TopologySpec(name="bad", cores_per_socket=0)
+
+    def test_clock_positive(self):
+        with pytest.raises(TopologyError):
+            TopologySpec(name="bad", clock_hz=0)
+
+    def test_policy_known(self):
+        with pytest.raises(TopologyError):
+            TopologySpec(name="bad", os_policy="mystery")
+
+    def test_derived_counts(self):
+        spec = tiny_spec()
+        assert spec.n_numa == 2
+        assert spec.n_cores == 4
+        assert spec.n_pus == 8
+
+
+class TestBuild:
+    def test_tiny_shape(self):
+        topo = build_topology(tiny_spec())
+        assert topo.n_pus == 8
+        assert topo.n_cores == 4
+        assert len(topo.numa_nodes) == 2
+        assert topo.has_hyperthreading
+
+    def test_cpusets_nest(self):
+        topo = build_topology(tiny_spec())
+        for obj in topo.iter_objects():
+            for child in obj.children:
+                assert child.cpuset.issubset(obj.cpuset)
+
+    def test_root_cpuset_covers_all(self):
+        topo = build_topology(tiny_spec())
+        assert len(topo.root.cpuset) == topo.n_pus
+
+    def test_pu_os_indices_sequential(self):
+        topo = build_topology(tiny_spec())
+        assert [p.os_index for p in topo.pus] == list(range(8))
+
+    def test_arities_product_is_leaf_count(self):
+        for factory in (smp12e5, smp20e7, fig2_machine):
+            topo = factory()
+            prod = 1
+            for a in topo.level_arities():
+                prod *= a
+            assert prod == topo.n_pus
+
+    def test_cache_sizes_from_spec(self):
+        topo = build_topology(tiny_spec(l3="4M"))
+        l3 = topo.objects_by_type(ObjType.L3)[0]
+        assert l3.cache.size == 4 * 1024**2
+
+
+class TestQueries:
+    def test_core_of_pu_and_siblings(self):
+        topo = build_topology(tiny_spec())
+        core = topo.core_of_pu(3)
+        assert 3 in core.cpuset
+        sibs = topo.siblings_of_pu(2)
+        assert [s.os_index for s in sibs] == [3]
+
+    def test_numa_and_socket_of_pu(self):
+        topo = build_topology(tiny_spec())
+        assert topo.numa_of_pu(0).logical_index == 0
+        assert topo.numa_of_pu(7).logical_index == 1
+        assert topo.socket_of_pu(5) is not None
+
+    def test_unknown_pu_raises(self):
+        topo = build_topology(tiny_spec())
+        with pytest.raises(TopologyError):
+            topo.pu(99)
+
+    def test_common_ancestor_depth(self):
+        topo = build_topology(tiny_spec())
+        same_core = topo.common_ancestor_depth(0, 1)
+        same_numa = topo.common_ancestor_depth(0, 2)
+        cross_numa = topo.common_ancestor_depth(0, 4)
+        assert same_core > same_numa > cross_numa
+        assert cross_numa == 0
+
+    def test_objects_at_depth_bounds(self):
+        topo = build_topology(tiny_spec())
+        with pytest.raises(TopologyError):
+            topo.objects_at_depth(99)
+        assert topo.objects_at_depth(0) == [topo.root]
+
+
+class TestValidation:
+    def test_root_must_be_machine(self):
+        with pytest.raises(TopologyError):
+            Topology(TopoObject(ObjType.PACKAGE))
+
+    def test_unbalanced_rejected(self):
+        root = TopoObject(ObjType.MACHINE)
+        numa = root.add_child(TopoObject(ObjType.NUMANODE))
+        core_a = numa.add_child(TopoObject(ObjType.CORE))
+        core_a.add_child(TopoObject(ObjType.PU, os_index=0))
+        # Second branch terminates at Core depth (no PU) -> unbalanced leaf type
+        numa.add_child(TopoObject(ObjType.CORE))
+        with pytest.raises(TopologyError):
+            Topology(root)
+
+    def test_bad_nesting_rejected(self):
+        pu = TopoObject(ObjType.PU)
+        with pytest.raises(TopologyError):
+            pu.add_child(TopoObject(ObjType.CORE))
+
+    def test_cache_attrs_validate(self):
+        with pytest.raises(TopologyError):
+            CacheAttrs(size=0)
+
+
+class TestPresets:
+    def test_table1_smp12e5(self):
+        topo = smp12e5()
+        assert len(topo.numa_nodes) == 12
+        assert topo.n_cores == 96
+        assert topo.n_pus == 192
+        assert topo.has_hyperthreading
+        l3 = topo.objects_by_type(ObjType.L3)[0]
+        assert l3.cache.size == 20480 * 1024
+        assert topo.root.attrs["clock_hz"] == pytest.approx(2.6e9)
+        assert topo.root.attrs["os_policy"] == "consolidate"
+
+    def test_table1_smp20e7(self):
+        topo = smp20e7()
+        assert len(topo.numa_nodes) == 20
+        assert topo.n_cores == 160
+        assert topo.n_pus == 160
+        assert not topo.has_hyperthreading
+        l3 = topo.objects_by_type(ObjType.L3)[0]
+        assert l3.cache.size == 24576 * 1024
+        assert topo.root.attrs["os_policy"] == "spread"
+
+    def test_fig2_machine(self):
+        topo = fig2_machine()
+        assert topo.n_cores == 32
+        assert len(topo.sockets) == 4
+        assert len(topo.objects_by_type(ObjType.GROUP)) == 2
+
+    def test_machine_registry(self):
+        from repro.topology import list_machines, machine_by_name
+
+        assert "SMP12E5" in list_machines()
+        assert machine_by_name("smp20e7").name == "SMP20E7"
+        with pytest.raises(TopologyError):
+            machine_by_name("nope")

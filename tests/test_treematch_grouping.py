@@ -1,0 +1,167 @@
+"""Tests for GroupProcesses / AggregateComMatrix and their invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.treematch.aggregate import aggregate_comm_matrix
+from repro.treematch.grouping import (
+    group_greedy,
+    group_optimal,
+    group_processes,
+    intra_group_weight,
+    partition_count,
+    refine_groups,
+)
+
+
+def symmetric(n, rng):
+    m = rng.random((n, n)) * 100
+    m = m + m.T
+    np.fill_diagonal(m, 0)
+    return m
+
+
+class TestPartitionCount:
+    def test_known_values(self):
+        assert partition_count(4, 2) == 3
+        assert partition_count(6, 2) == 15
+        assert partition_count(6, 3) == 10
+        assert partition_count(8, 4) == 35
+        assert partition_count(4, 4) == 1
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(MappingError):
+            partition_count(5, 2)
+
+
+class TestGroupProcesses:
+    def test_arity_one_identity(self):
+        m = symmetric(5, np.random.default_rng(0))
+        assert group_processes(m, 1) == [[i] for i in range(5)]
+
+    def test_full_arity_single_group(self):
+        m = symmetric(4, np.random.default_rng(0))
+        assert group_processes(m, 4) == [[0, 1, 2, 3]]
+
+    def test_indivisible_rejected(self):
+        m = symmetric(5, np.random.default_rng(0))
+        with pytest.raises(MappingError):
+            group_processes(m, 2)
+
+    def test_bad_arity_rejected(self):
+        m = symmetric(4, np.random.default_rng(0))
+        with pytest.raises(MappingError):
+            group_processes(m, 0)
+
+    def test_unknown_engine_rejected(self):
+        m = symmetric(4, np.random.default_rng(0))
+        with pytest.raises(MappingError):
+            group_processes(m, 2, force="magic")
+
+    def test_obvious_pairs_found(self):
+        # Threads (0,1) and (2,3) communicate heavily; optimal pairing is clear.
+        m = np.zeros((4, 4))
+        m[0, 1] = m[1, 0] = 100
+        m[2, 3] = m[3, 2] = 100
+        m[0, 2] = m[2, 0] = 1
+        for force in (None, "optimal", "greedy"):
+            groups = group_processes(m, 2, force=force)
+            assert groups == [[0, 1], [2, 3]]
+
+    def test_partition_is_exact_cover(self):
+        rng = np.random.default_rng(7)
+        m = symmetric(12, rng)
+        groups = group_processes(m, 3)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(12))
+        assert all(len(g) == 3 for g in groups)
+
+    def test_greedy_matches_optimal_on_separable(self):
+        # Block-diagonal affinity: both engines must find the blocks.
+        rng = np.random.default_rng(3)
+        m = np.zeros((8, 8))
+        for base in range(0, 8, 4):
+            blk = rng.random((4, 4)) * 10 + 50
+            m[base : base + 4, base : base + 4] = blk + blk.T
+        np.fill_diagonal(m, 0)
+        opt = group_processes(m, 4, force="optimal")
+        greedy = group_processes(m, 4, force="greedy")
+        assert intra_group_weight(m, opt) == pytest.approx(
+            intra_group_weight(m, greedy)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_optimal_never_worse_than_greedy(self, seed):
+        rng = np.random.default_rng(seed)
+        m = symmetric(6, rng)
+        opt = group_optimal(m, 2)
+        greedy = refine_groups(m, group_greedy(m, 2))
+        assert (
+            intra_group_weight(m, opt)
+            >= intra_group_weight(m, greedy) - 1e-9
+        )
+
+    def test_refine_improves_or_keeps(self):
+        rng = np.random.default_rng(11)
+        m = symmetric(10, rng)
+        base = group_greedy(m, 2)
+        refined = refine_groups(m, base)
+        assert intra_group_weight(m, refined) >= intra_group_weight(m, base) - 1e-9
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(5)
+        m = symmetric(16, rng)
+        assert group_processes(m, 2) == group_processes(m, 2)
+
+
+class TestAggregate:
+    def test_pairwise_sums(self):
+        m = np.array(
+            [
+                [0.0, 1.0, 2.0, 3.0],
+                [1.0, 0.0, 4.0, 5.0],
+                [2.0, 4.0, 0.0, 6.0],
+                [3.0, 5.0, 6.0, 0.0],
+            ]
+        )
+        agg = aggregate_comm_matrix(m, [[0, 1], [2, 3]])
+        # Traffic between group {0,1} and {2,3}: m[0,2]+m[0,3]+m[1,2]+m[1,3]
+        assert agg[0, 1] == pytest.approx(2 + 3 + 4 + 5)
+        assert agg[1, 0] == agg[0, 1]
+        assert agg[0, 0] == 0 and agg[1, 1] == 0
+
+    def test_total_cross_traffic_preserved(self):
+        rng = np.random.default_rng(13)
+        m = rng.random((6, 6)) * 10
+        m = m + m.T
+        np.fill_diagonal(m, 0)
+        groups = [[0, 3], [1, 4], [2, 5]]
+        agg = aggregate_comm_matrix(m, groups)
+        cross = sum(
+            m[i, j]
+            for gi in range(3)
+            for gj in range(3)
+            if gi != gj
+            for i in groups[gi]
+            for j in groups[gj]
+        )
+        assert agg.sum() == pytest.approx(cross)
+
+    def test_incomplete_cover_rejected(self):
+        m = np.zeros((4, 4))
+        with pytest.raises(MappingError):
+            aggregate_comm_matrix(m, [[0, 1]])
+
+    def test_duplicate_rejected(self):
+        m = np.zeros((4, 4))
+        with pytest.raises(MappingError):
+            aggregate_comm_matrix(m, [[0, 1], [1, 2], [3]])
+
+    def test_out_of_range_rejected(self):
+        m = np.zeros((2, 2))
+        with pytest.raises(MappingError):
+            aggregate_comm_matrix(m, [[0, 5]])

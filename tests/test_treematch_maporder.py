@@ -1,0 +1,117 @@
+"""Tests for the distance-aware MapGroups refinement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.topology import fig2_machine, smp12e5, smp20e7
+from repro.treematch import CommunicationMatrix, treematch_map
+from repro.treematch.maporder import (
+    child_distance_matrix,
+    order_top_groups,
+    placement_cost,
+)
+
+
+class TestChildDistance:
+    def test_numa_root_children_equal_slit(self):
+        topo = smp12e5()
+        d = child_distance_matrix(topo)
+        assert d.shape == (12, 12)
+        assert d[0, 1] < d[0, 2] < d[0, 8]
+
+    def test_blade_machine_uses_representatives(self):
+        topo = fig2_machine()  # 2 blades at the root
+        d = child_distance_matrix(topo)
+        assert d.shape == (2, 2)
+        assert d[0, 0] == d[1, 1]
+        assert d[0, 1] > d[0, 0]
+
+
+class TestOrderTopGroups:
+    def test_shape_validation(self):
+        with pytest.raises(MappingError):
+            order_top_groups([[0], [1]], np.zeros((3, 3)), np.zeros((2, 2)))
+
+    def test_two_groups_passthrough(self):
+        groups = [[0, 1], [2, 3]]
+        out = order_top_groups(groups, np.zeros((2, 2)), np.zeros((2, 2)))
+        assert out == groups
+
+    def test_heavy_pair_placed_adjacent(self):
+        # 4 children on a line-like distance; groups 0 and 3 communicate.
+        k = 4
+        dist = np.abs(np.subtract.outer(range(k), range(k))).astype(float) + 1
+        np.fill_diagonal(dist, 0)
+        m = np.zeros((k, k))
+        m[0, 3] = m[3, 0] = 100.0
+        out = order_top_groups([[i] for i in range(k)], m, dist)
+        slot = {g[0]: c for c, g in enumerate(out)}
+        assert abs(slot[0] - slot[3]) == 1
+
+    def test_never_worse_than_identity(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            k = 6
+            m = rng.random((k, k)) * 10
+            m = m + m.T
+            np.fill_diagonal(m, 0)
+            dist = rng.random((k, k)) * 5 + 1
+            dist = dist + dist.T
+            np.fill_diagonal(dist, 0)
+            out = order_top_groups([[i] for i in range(k)], m, dist)
+            slots = [0] * k
+            for c, g in enumerate(out):
+                slots[g[0]] = c
+            assert placement_cost(m, slots, dist) <= placement_cost(
+                m, list(range(k)), dist
+            ) + 1e-9
+
+    def test_partition_preserved(self):
+        rng = np.random.default_rng(1)
+        k = 8
+        m = rng.random((k, k))
+        m = m + m.T
+        dist = np.ones((k, k)) - np.eye(k)
+        groups = [[i, i + k] for i in range(k)]
+        out = order_top_groups(groups, m, dist)
+        assert sorted(x for g in out for x in g) == sorted(
+            x for g in groups for x in g
+        )
+
+
+class TestIntegrationWithTreematch:
+    def ring(self, n, w=100.0):
+        m = np.zeros((n, n))
+        for i in range(n):
+            m[i, (i + 1) % n] = w
+        return CommunicationMatrix(m)
+
+    def test_distance_aware_not_worse(self):
+        topo_a, topo_b = smp20e7(), smp20e7()
+        comm = self.ring(40)  # 5 NUMA nodes' worth of tasks
+        smart = treematch_map(topo_a, comm, distance_aware=True)
+        naive = treematch_map(topo_b, comm, distance_aware=False)
+        assert smart.cost(topo_a, comm) <= naive.cost(topo_b, comm) + 1e-9
+
+    def test_distance_aware_helps_cross_node_pairs(self):
+        """Two clusters of tasks that talk across the cluster boundary:
+        distance-aware ordering must put them on adjacent NUMA nodes."""
+        topo = smp12e5()
+        n = 32  # 4 nodes worth of core-granular tasks
+        m = np.zeros((n, n))
+        for i in range(8):
+            m[i, 8 + i] = 50.0  # block A talks to block B
+            m[16 + i, 24 + i] = 50.0  # block C talks to block D
+        comm = CommunicationMatrix(m)
+        smart = treematch_map(topo, comm, distance_aware=True)
+        naive = treematch_map(topo, comm, distance_aware=False)
+        assert smart.cost(topo, comm) <= naive.cost(topo, comm)
+        assert smart.slit_cost(topo, comm) <= naive.slit_cost(topo, comm)
+
+    def test_deterministic(self):
+        topo = smp20e7()
+        comm = self.ring(24)
+        a = treematch_map(topo, comm)
+        b = treematch_map(topo, comm)
+        assert a.thread_to_pu == b.thread_to_pu

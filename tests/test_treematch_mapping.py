@@ -1,0 +1,259 @@
+"""Tests for Algorithm 1: the full treematch_map driver and its adaptations."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.topology import TopologySpec, build_topology, fig2_machine, smp12e5, smp20e7
+from repro.treematch import (
+    CommunicationMatrix,
+    compact_placement,
+    cores_close_placement,
+    cores_spread_placement,
+    scatter_placement,
+    sequential_placement,
+    strategy_by_name,
+    treematch_map,
+)
+from repro.treematch.control import extend_for_control_threads
+from repro.treematch.oversub import manage_oversubscription
+
+
+def ring_matrix(n, weight=100.0):
+    m = np.zeros((n, n))
+    for i in range(n):
+        m[i, (i + 1) % n] = weight
+    return CommunicationMatrix(m)
+
+
+def pipeline_matrix(n, weight=50.0):
+    m = np.zeros((n, n))
+    for i in range(n - 1):
+        m[i + 1, i] = weight
+    return CommunicationMatrix(m)
+
+
+class TestCommunicationMatrix:
+    def test_affinity_symmetrized(self):
+        comm = pipeline_matrix(4)
+        aff = comm.affinity()
+        assert np.allclose(aff, aff.T)
+        assert aff[0, 1] == 50.0 and aff[1, 0] == 50.0
+
+    def test_from_edges(self):
+        comm = CommunicationMatrix.from_edges(3, {(1, 0): 10.0, (2, 1): 5.0})
+        assert comm.raw[1, 0] == 10.0
+        assert comm.total_traffic() == pytest.approx(15.0)
+
+    def test_from_edges_validates(self):
+        with pytest.raises(MappingError):
+            CommunicationMatrix.from_edges(2, {(0, 5): 1.0})
+        with pytest.raises(MappingError):
+            CommunicationMatrix.from_edges(2, {(0, 1): -1.0})
+
+    def test_label_length_checked(self):
+        with pytest.raises(MappingError):
+            CommunicationMatrix(np.zeros((2, 2)), labels=["only-one"])
+
+    def test_restricted(self):
+        comm = pipeline_matrix(4)
+        sub = comm.restricted([2, 3])
+        assert sub.order == 2
+        assert sub.raw[1, 0] == 50.0
+
+    def test_padded(self):
+        comm = ring_matrix(3)
+        pad = comm.padded(5)
+        assert pad.order == 5
+        assert pad.raw[:3, :3].sum() == comm.raw.sum()
+        with pytest.raises(MappingError):
+            comm.padded(2)
+
+
+class TestOversubscription:
+    def test_no_extension_when_fits(self):
+        plan = manage_oversubscription([2, 4], 8)
+        assert plan.factor == 1 and not plan.oversubscribed
+        assert plan.arities == (2, 4)
+
+    def test_virtual_level_added(self):
+        plan = manage_oversubscription([2, 4], 9)
+        assert plan.factor == 2
+        assert plan.arities == (2, 4, 2)
+        assert plan.virtual_leaves == 16
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MappingError):
+            manage_oversubscription([2, 4], 0)
+        with pytest.raises(MappingError):
+            manage_oversubscription([0], 1)
+
+
+class TestControlExtension:
+    def test_ht_mode_keeps_matrix(self):
+        m = np.ones((4, 4))
+        np.fill_diagonal(m, 0)
+        ext, plan = extend_for_control_threads(m, 4, 8, hyperthreading=True)
+        assert plan.mode == "ht-sibling"
+        assert ext.shape == (4, 4)
+
+    def test_spare_core_mode_extends(self):
+        m = np.ones((4, 4))
+        np.fill_diagonal(m, 0)
+        ext, plan = extend_for_control_threads(m, 4, 8, hyperthreading=False)
+        assert plan.mode == "spare-core"
+        assert plan.slots == 4
+        assert ext.shape == (8, 8)
+        # epsilon edges present but tiny
+        assert 0 < ext[4, 0] < 1e-3
+
+    def test_os_mode_when_no_room(self):
+        m = np.ones((8, 8))
+        np.fill_diagonal(m, 0)
+        ext, plan = extend_for_control_threads(m, 4, 8, hyperthreading=False)
+        assert plan.mode == "os"
+        assert ext.shape == (8, 8)
+
+    def test_zero_control_is_os(self):
+        m = np.zeros((2, 2))
+        _, plan = extend_for_control_threads(m, 0, 8, hyperthreading=False)
+        assert plan.mode == "os"
+
+
+class TestTreematchMap:
+    def test_threads_get_distinct_pus(self):
+        pl = treematch_map(fig2_machine(), ring_matrix(8))
+        assert len(set(pl.thread_to_pu.values())) == 8
+
+    def test_heavy_pairs_share_socket(self):
+        # 4 isolated heavy pairs must land pairwise on the same socket.
+        topo = fig2_machine()
+        m = np.zeros((8, 8))
+        for i in range(0, 8, 2):
+            m[i, i + 1] = 1000.0
+        pl = treematch_map(topo, CommunicationMatrix(m))
+        for i in range(0, 8, 2):
+            s_a = topo.socket_of_pu(pl.thread_to_pu[i]).logical_index
+            s_b = topo.socket_of_pu(pl.thread_to_pu[i + 1]).logical_index
+            assert s_a == s_b
+
+    def test_better_or_equal_cost_than_baselines(self):
+        topo = fig2_machine()
+        comm = ring_matrix(16)
+        pl = treematch_map(topo, comm)
+        assert pl.cost(topo, comm) <= scatter_placement(topo, 16).cost(topo, comm)
+
+    def test_ht_machine_uses_core_granularity(self):
+        topo = smp12e5()
+        pl = treematch_map(topo, ring_matrix(8), n_control=8)
+        assert pl.granularity == "core"
+        assert pl.control_mode == "ht-sibling"
+        # compute threads on first PU of a core (even os index), controls on odd
+        assert all(pu % 2 == 0 for pu in pl.thread_to_pu.values())
+        assert all(pu % 2 == 1 for pu in pl.control_to_pu.values())
+
+    def test_control_sibling_is_same_core(self):
+        topo = smp12e5()
+        pl = treematch_map(topo, ring_matrix(8), n_control=8)
+        for j, cpu in pl.control_to_pu.items():
+            owner_pu = pl.thread_to_pu[j % 8]
+            assert topo.core_of_pu(cpu) is topo.core_of_pu(owner_pu)
+
+    def test_no_ht_spare_core_control(self):
+        topo = fig2_machine()  # 32 cores, no HT
+        pl = treematch_map(topo, ring_matrix(30), n_control=30)
+        assert pl.control_mode == "spare-core"
+        compute_pus = set(pl.thread_to_pu.values())
+        control_pus = set(pl.control_to_pu.values())
+        assert control_pus.isdisjoint(compute_pus)
+        assert len(control_pus) == 2  # the two spare cores (cf. Fig. 2)
+
+    def test_no_room_falls_back_to_os(self):
+        topo = fig2_machine()
+        pl = treematch_map(topo, ring_matrix(32), n_control=8)
+        assert pl.control_mode == "os"
+        assert pl.control_to_pu == {}
+
+    def test_oversubscription_goes_up_one_level(self):
+        topo = fig2_machine()  # 32 PUs
+        pl = treematch_map(topo, ring_matrix(40))
+        assert pl.oversub_factor == 2
+        counts = Counter(pl.thread_to_pu.values())
+        assert max(counts.values()) <= 2
+        assert len(pl.thread_to_pu) == 40
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(MappingError):
+            treematch_map(fig2_machine(), CommunicationMatrix(np.zeros((0, 0))))
+
+    def test_control_owner_length_checked(self):
+        with pytest.raises(MappingError):
+            treematch_map(
+                fig2_machine(), ring_matrix(4), n_control=3, control_owners=[0]
+            )
+
+    def test_deterministic(self):
+        topo = smp20e7()
+        comm = pipeline_matrix(24)
+        a = treematch_map(topo, comm, n_control=24)
+        b = treematch_map(topo, comm, n_control=24)
+        assert a.thread_to_pu == b.thread_to_pu
+        assert a.control_to_pu == b.control_to_pu
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=24))
+    def test_any_size_maps_every_thread(self, n):
+        topo = fig2_machine()
+        pl = treematch_map(topo, ring_matrix(n))
+        assert sorted(pl.thread_to_pu) == list(range(n))
+        for pu in pl.thread_to_pu.values():
+            topo.pu(pu)  # must exist
+
+
+class TestBaselineStrategies:
+    def test_compact_uses_siblings_first(self):
+        topo = smp12e5()
+        pl = compact_placement(topo, 4)
+        assert [pl.thread_to_pu[i] for i in range(4)] == [0, 1, 2, 3]
+
+    def test_scatter_spreads_over_sockets(self):
+        topo = fig2_machine()
+        pl = scatter_placement(topo, 4)
+        sockets = {
+            topo.socket_of_pu(pu).logical_index for pu in pl.thread_to_pu.values()
+        }
+        assert len(sockets) == 4
+
+    def test_cores_close_skips_siblings(self):
+        topo = smp12e5()
+        pl = cores_close_placement(topo, 4)
+        assert [pl.thread_to_pu[i] for i in range(4)] == [0, 2, 4, 6]
+
+    def test_cores_spread_round_robins(self):
+        topo = fig2_machine()
+        pl = cores_spread_placement(topo, 8)
+        per_socket = Counter(
+            topo.socket_of_pu(pu).logical_index for pu in pl.thread_to_pu.values()
+        )
+        assert all(v == 2 for v in per_socket.values())
+
+    def test_sequential_stacks_on_pu0(self):
+        topo = fig2_machine()
+        pl = sequential_placement(topo, 3)
+        assert set(pl.thread_to_pu.values()) == {0}
+
+    def test_capacity_checked(self):
+        topo = fig2_machine()
+        with pytest.raises(MappingError):
+            compact_placement(topo, 33)
+        with pytest.raises(MappingError):
+            compact_placement(topo, 0)
+
+    def test_registry(self):
+        assert strategy_by_name("compact") is compact_placement
+        with pytest.raises(MappingError):
+            strategy_by_name("nope")

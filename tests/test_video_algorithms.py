@@ -1,0 +1,275 @@
+"""Unit tests for the video imaging substrate: frames, GMM, morphology,
+CCL and tracking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.video.ccl import (
+    Component,
+    label,
+    label_strips,
+    merge_strip_labels,
+    strip_bounds,
+)
+from repro.apps.video.frames import FRAME_FORMATS, FrameSpec, VideoSource
+from repro.apps.video.gmm import GMMBackground
+from repro.apps.video.morphology import dilate3, erode3
+from repro.apps.video.tracking import CentroidTracker
+from repro.errors import ReproError
+
+masks = arrays(np.bool_, (12, 16), elements=st.booleans())
+
+
+class TestFrames:
+    def test_formats(self):
+        assert FRAME_FORMATS["HD"].pixels == 1280 * 720
+        assert FRAME_FORMATS["4K"].nbytes == 3840 * 2160
+
+    def test_spec_validation(self):
+        with pytest.raises(ReproError):
+            FrameSpec(4, 4)
+
+    def test_deterministic(self):
+        a = VideoSource(FrameSpec(64, 48), seed=7).next_frame()
+        b = VideoSource(FrameSpec(64, 48), seed=7).next_frame()
+        assert np.array_equal(a, b)
+
+    def test_objects_move(self):
+        src = VideoSource(FrameSpec(64, 48), n_objects=1, noise=0, seed=1)
+        f1, f2 = src.next_frame(), src.next_frame()
+        assert not np.array_equal(f1, f2)
+
+    def test_objects_stay_in_frame(self):
+        spec = FrameSpec(32, 32)
+        src = VideoSource(spec, n_objects=2, seed=3)
+        for _ in range(200):
+            src.next_frame()
+        for obj in src.objects:
+            assert 0 <= obj.x <= spec.width - obj.w
+            assert 0 <= obj.y <= spec.height - obj.h
+
+    def test_frames_generator_counts(self):
+        src = VideoSource(FrameSpec(16, 16), seed=0)
+        assert len(list(src.frames(5))) == 5
+        assert src.frame_index == 5
+
+
+class TestGMM:
+    def test_first_frame_is_background(self):
+        gmm = GMMBackground((8, 8))
+        mask = gmm.apply(np.full((8, 8), 100, dtype=np.uint8))
+        assert not mask.any()
+
+    def test_static_scene_stays_background(self):
+        gmm = GMMBackground((8, 8))
+        frame = np.full((8, 8), 100, dtype=np.uint8)
+        for _ in range(10):
+            mask = gmm.apply(frame)
+        assert not mask.any()
+
+    def test_sudden_object_detected(self):
+        gmm = GMMBackground((16, 16))
+        bg = np.full((16, 16), 60, dtype=np.uint8)
+        for _ in range(5):
+            gmm.apply(bg)
+        scene = bg.copy()
+        scene[4:8, 4:8] = 220
+        mask = gmm.apply(scene)
+        assert mask[4:8, 4:8].all()
+        assert not mask[0, 0]
+
+    def test_strip_models_equal_full_model(self):
+        """Per-pixel independence: 4 strip models == one full model."""
+        spec = FrameSpec(32, 24)
+        src = VideoSource(spec, seed=2)
+        full = GMMBackground((24, 32))
+        bounds = strip_bounds(24, 4)
+        strips = [GMMBackground((hi - lo, 32)) for lo, hi in bounds]
+        for frame in src.frames(6):
+            want = full.apply(frame)
+            got = np.vstack(
+                [m.apply(frame[lo:hi]) for m, (lo, hi) in zip(strips, bounds)]
+            )
+            assert np.array_equal(want, got)
+
+    def test_shape_mismatch_rejected(self):
+        gmm = GMMBackground((4, 4))
+        with pytest.raises(ReproError):
+            gmm.apply(np.zeros((5, 4), dtype=np.uint8))
+
+    def test_param_validation(self):
+        with pytest.raises(ReproError):
+            GMMBackground((4, 4), alpha=0)
+        with pytest.raises(ReproError):
+            GMMBackground((4, 4), threshold_sigma=-1)
+
+
+class TestMorphology:
+    def test_erode_removes_isolated(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[3, 3] = True
+        assert not erode3(mask).any()
+
+    def test_erode_keeps_interior(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[2:7, 2:7] = True
+        out = erode3(mask)
+        assert out[3:6, 3:6].all()
+        assert not out[2, 2]
+
+    def test_dilate_grows(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[4, 4] = True
+        out = dilate3(mask)
+        assert out[3:6, 3:6].all()
+        assert out.sum() == 9
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ReproError):
+            erode3(np.zeros(5, dtype=bool))
+
+    @given(masks)
+    def test_duality_bounds(self, mask):
+        # erosion shrinks, dilation grows
+        assert erode3(mask).sum() <= mask.sum() <= dilate3(mask).sum()
+
+    @given(masks)
+    def test_erode_dilate_are_min_max_filters(self, mask):
+        padded = np.zeros((14, 18), dtype=bool)
+        padded[1:-1, 1:-1] = mask
+        er = erode3(padded)
+        di = dilate3(padded)
+        for y in range(1, 13):
+            for x in range(1, 17):
+                neigh = padded[y - 1 : y + 2, x - 1 : x + 2]
+                assert er[y, x] == neigh.all()
+                assert di[y, x] == neigh.any()
+
+
+class TestCCL:
+    def test_two_blobs(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[1:3, 1:3] = True
+        mask[5:7, 5:7] = True
+        labels, comps = label(mask)
+        assert len(comps) == 2
+        assert comps[0].area == 4 and comps[1].area == 4
+        assert labels[1, 1] == 1 and labels[5, 5] == 2
+
+    def test_4_connectivity_diagonals_split(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = mask[1, 1] = True
+        _, comps = label(mask)
+        assert len(comps) == 2
+
+    def test_u_shape_merges(self):
+        # A 'U' requires a union across runs.
+        mask = np.array(
+            [
+                [1, 0, 1],
+                [1, 0, 1],
+                [1, 1, 1],
+            ],
+            dtype=bool,
+        )
+        _, comps = label(mask)
+        assert len(comps) == 1
+        assert comps[0].area == 7
+
+    def test_labels_in_scan_order(self):
+        mask = np.zeros((4, 8), dtype=bool)
+        mask[0, 6] = True
+        mask[2, 1] = True
+        labels, _ = label(mask)
+        assert labels[0, 6] == 1
+        assert labels[2, 1] == 2
+
+    def test_component_geometry(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[2:4, 1:5] = True
+        _, comps = label(mask)
+        c = comps[0]
+        assert c.bbox == (2, 1, 4, 5)
+        assert c.centroid == (2.5, 2.5)
+        assert c.area == 8
+
+    def test_empty_mask(self):
+        labels, comps = label(np.zeros((4, 4), dtype=bool))
+        assert comps == []
+        assert not labels.any()
+
+    @given(masks, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_strips_equal_monolithic(self, mask, n_strips):
+        """The load-bearing CCL property: strip+merge == whole-mask pass."""
+        want_labels, want_comps = label(mask)
+        got_labels, got_comps = label_strips(mask, n_strips)
+        assert np.array_equal(want_labels, got_labels)
+        assert want_comps == got_comps
+
+    def test_strip_bounds_validation(self):
+        with pytest.raises(ReproError):
+            strip_bounds(4, 0)
+        with pytest.raises(ReproError):
+            strip_bounds(2, 5)
+
+    def test_merge_validates_tiling(self):
+        with pytest.raises(ReproError):
+            merge_strip_labels(
+                [(0, 2), (3, 4)],
+                [np.zeros((2, 4), np.int32), np.zeros((1, 4), np.int32)],
+                (4, 4),
+            )
+
+
+class TestTracker:
+    def comp(self, cy, cx, area=10, lab=1):
+        return Component(lab, area, (0, 0, 1, 1), (cy, cx))
+
+    def test_new_components_open_tracks(self):
+        tr = CentroidTracker()
+        tracks = tr.update([self.comp(5, 5), self.comp(20, 20)])
+        assert [t.track_id for t in tracks] == [1, 2]
+
+    def test_nearby_component_matches(self):
+        tr = CentroidTracker()
+        tr.update([self.comp(5, 5)])
+        tracks = tr.update([self.comp(7, 6)])
+        assert len(tracks) == 1
+        assert tracks[0].track_id == 1
+        assert tracks[0].age == 2
+
+    def test_far_component_is_new_track(self):
+        tr = CentroidTracker(max_distance=10)
+        tr.update([self.comp(5, 5)])
+        tracks = tr.update([self.comp(100, 100)])
+        ids = sorted(t.track_id for t in tracks)
+        assert ids == [1, 2]
+
+    def test_missed_tracks_expire(self):
+        tr = CentroidTracker(max_missed=2)
+        tr.update([self.comp(5, 5)])
+        for _ in range(3):
+            tr.update([])
+        assert tr.tracks == []
+
+    def test_small_components_ignored(self):
+        tr = CentroidTracker(min_area=5)
+        tracks = tr.update([self.comp(5, 5, area=2)])
+        assert tracks == []
+
+    def test_track_follows_moving_object(self):
+        tr = CentroidTracker()
+        for k in range(10):
+            tracks = tr.update([self.comp(5 + 2 * k, 5)])
+        assert len(tracks) == 1
+        assert tracks[0].track_id == 1
+        assert tracks[0].age == 10
+        assert len(tracks[0].history) == 9
+
+    def test_param_validation(self):
+        with pytest.raises(ReproError):
+            CentroidTracker(max_distance=0)

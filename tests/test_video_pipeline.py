@@ -1,0 +1,153 @@
+"""Integration tests for the 30-task video-tracking pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.video import (
+    VideoConfig,
+    run_openmp_video,
+    run_orwl_video,
+    run_sequential_video,
+)
+from repro.apps.video.frames import FRAME_FORMATS, FrameSpec
+from repro.apps.video.pipeline import build_orwl_video, run_sequential_reference
+from repro.errors import ReproError
+from repro.orwl import Runtime
+from repro.topology import smp12e5_4s, smp20e7_4s
+
+
+@pytest.fixture(autouse=True)
+def tiny_format():
+    FRAME_FORMATS["tiny"] = FrameSpec(64, 48)
+    yield
+    FRAME_FORMATS.pop("tiny", None)
+
+
+def tiny_cfg(**kw):
+    defaults = dict(
+        resolution="tiny",
+        frames=6,
+        gmm_split=4,
+        ccl_split=2,
+        n_dilate=2,
+        execute_data=True,
+        seed=3,
+    )
+    defaults.update(kw)
+    return VideoConfig(**defaults)
+
+
+class TestConfig:
+    def test_default_has_30_tasks(self):
+        assert VideoConfig().n_tasks == 30
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            VideoConfig(resolution="8K")
+        with pytest.raises(ReproError):
+            VideoConfig(frames=0)
+        with pytest.raises(ReproError):
+            VideoConfig(gmm_split=0)
+
+
+class TestGraphStructure:
+    def test_task_ids_match_fig2(self):
+        rt = Runtime(smp20e7_4s(), affinity=False)
+        build_orwl_video(rt, VideoConfig(resolution="HD", frames=1))
+        names = [op.name for op in rt.operations]
+        assert names[0].startswith("producer")
+        assert names[1].startswith("gmm/")
+        assert names[2].startswith("erode")
+        assert all(n.startswith("dilate") for n in names[3:7])
+        assert names[7].startswith("ccl/")
+        assert names[8].startswith("tracking")
+        assert names[9].startswith("consumer")
+        assert all(n.startswith("gmm split") for n in names[10:26])
+        assert all(n.startswith("ccl split") for n in names[26:30])
+
+    def test_comm_matrix_structure(self):
+        """Fig. 1's structure: gmm row/col blocks, pipeline chain."""
+        rt = Runtime(smp20e7_4s(), affinity=False)
+        build_orwl_video(rt, VideoConfig(resolution="HD", frames=1))
+        rt.schedule()
+        raw = rt.dependency_get().raw
+        assert raw[1, 0] > 0  # gmm reads producer's frame
+        assert raw[2, 1] > 0  # erode reads fg_mask
+        for i in range(10, 26):  # gmm splits read gmm's work
+            assert raw[i, 1] > 0
+            assert raw[1, i] > 0  # gmm gathers their pieces
+        assert raw[8, 7] > 0  # tracking reads ccl labels
+        assert raw[9, 8] > 0  # consumer reads tracks
+
+    def test_split_traffic_is_fraction(self):
+        rt = Runtime(smp20e7_4s(), affinity=False)
+        cfg = VideoConfig(resolution="HD", frames=1)
+        build_orwl_video(rt, cfg)
+        rt.schedule()
+        raw = rt.dependency_get().raw
+        full_frame = raw[1, 0]
+        split_read = raw[10, 1]
+        assert split_read == pytest.approx(full_frame / cfg.gmm_split)
+
+
+class TestDataCorrectness:
+    def test_pipeline_equals_sequential_reference(self):
+        cfg = tiny_cfg()
+        ref = run_sequential_reference(cfg)
+        _, out = run_orwl_video(smp20e7_4s(), cfg, affinity=False)
+        assert out["tracks"] == ref
+
+    def test_pipeline_equals_reference_with_affinity(self):
+        cfg = tiny_cfg(frames=5)
+        ref = run_sequential_reference(cfg)
+        _, out = run_orwl_video(smp12e5_4s(), cfg, affinity=True)
+        assert out["tracks"] == ref
+
+    def test_tracker_actually_tracks_objects(self):
+        cfg = tiny_cfg(frames=10, n_objects=2)
+        ref = run_sequential_reference(cfg)
+        # After warmup frames some track must persist with growing age.
+        last = ref[-1]
+        assert len(last) >= 1
+        assert max(age for _, _, age in last) >= 3
+
+    def test_different_splits_same_output(self):
+        a = run_sequential_reference(tiny_cfg())
+        cfg2 = tiny_cfg(gmm_split=2, ccl_split=3)
+        _, out = run_orwl_video(smp20e7_4s(), cfg2, affinity=False)
+        assert out["tracks"] == a
+
+
+class TestPerformanceShape:
+    def test_all_variants_run(self):
+        cfg = VideoConfig(resolution="HD", frames=5)
+        res, out = run_orwl_video(smp12e5_4s(), cfg, affinity=True, seed=1)
+        assert out["frames_done"] == 5
+        omp = run_openmp_video(smp12e5_4s(), cfg, 30, binding="close", seed=1)
+        seq = run_sequential_video(smp12e5_4s(), cfg, seed=1)
+        assert res.seconds > 0 and omp.seconds > 0 and seq.seconds > 0
+
+    def test_pipeline_beats_sequential(self):
+        cfg = VideoConfig(resolution="HD", frames=10)
+        seq = run_sequential_video(smp20e7_4s(), cfg, seed=1)
+        aff, _ = run_orwl_video(smp20e7_4s(), cfg, affinity=True, seed=1)
+        assert aff.seconds < seq.seconds / 2
+
+    def test_affinity_zero_migrations(self):
+        cfg = VideoConfig(resolution="HD", frames=5)
+        res, _ = run_orwl_video(smp12e5_4s(), cfg, affinity=True, seed=1)
+        assert res.counters.cpu_migrations == 0
+
+    def test_affinity_not_slower_than_native(self):
+        cfg = VideoConfig(resolution="HD", frames=15)
+        nat, _ = run_orwl_video(smp12e5_4s(), cfg, affinity=False, seed=1)
+        aff, _ = run_orwl_video(smp12e5_4s(), cfg, affinity=True, seed=1)
+        assert aff.seconds <= nat.seconds
+
+    def test_higher_resolution_lower_fps(self):
+        fps = {}
+        for res in ("HD", "FullHD"):
+            cfg = VideoConfig(resolution=res, frames=8)
+            r, _ = run_orwl_video(smp20e7_4s(), cfg, affinity=True, seed=1)
+            fps[res] = 8 / r.seconds
+        assert fps["HD"] > fps["FullHD"]

@@ -1,0 +1,143 @@
+"""Tests for the work-stealing baseline runtime."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.topology import fig2_machine, smp20e7_4s
+from repro.worksteal import TaskGraph, WorkStealingRuntime
+
+
+def chain_graph(machine, n=10, flops=1e6):
+    g = TaskGraph()
+    prev = None
+    for _ in range(n):
+        prev = g.add_task(flops, deps=[prev] if prev is not None else [])
+    return g
+
+
+class TestTaskGraph:
+    def test_dependencies_recorded(self):
+        g = TaskGraph()
+        a = g.add_task(1.0)
+        b = g.add_task(1.0, deps=[a])
+        assert g.nodes[b].remaining_deps == 1
+        assert g.nodes[a].children == [b]
+
+    def test_unknown_dep_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ReproError):
+            g.add_task(1.0, deps=[5])
+
+    def test_len(self):
+        g = TaskGraph()
+        g.add_task(1.0)
+        g.add_task(1.0)
+        assert len(g) == 2
+
+
+class TestExecution:
+    def test_all_tasks_run(self):
+        ws = WorkStealingRuntime(fig2_machine(), n_workers=4)
+        g = TaskGraph()
+        for _ in range(20):
+            g.add_task(1e6)
+        res = ws.run(g)
+        assert res.tasks_run == 20
+        assert all(n.done for n in g.nodes)
+
+    def test_chain_respects_dependencies(self):
+        ws = WorkStealingRuntime(fig2_machine(), n_workers=4)
+        res = ws.run(chain_graph(ws.machine, 12))
+        assert res.tasks_run == 12
+
+    def test_empty_graph_rejected(self):
+        ws = WorkStealingRuntime(fig2_machine())
+        with pytest.raises(ReproError):
+            ws.run(TaskGraph())
+
+    def test_cycle_detected_as_no_sources(self):
+        g = TaskGraph()
+        a = g.add_task(1.0)
+        b = g.add_task(1.0, deps=[a])
+        # fabricate a cycle
+        g.nodes[a].deps = [b]
+        g.nodes[a].remaining_deps = 1
+        g.nodes[b].children.append(a)
+        ws = WorkStealingRuntime(fig2_machine())
+        with pytest.raises(ReproError):
+            ws.run(g)
+
+    def test_run_once(self):
+        ws = WorkStealingRuntime(fig2_machine(), n_workers=2)
+        g = TaskGraph()
+        g.add_task(1.0)
+        ws.run(g)
+        with pytest.raises(ReproError):
+            ws.run(g)
+
+    def test_parallel_fanout_faster_than_one_worker(self):
+        def run(workers):
+            ws = WorkStealingRuntime(fig2_machine(), n_workers=workers)
+            g = TaskGraph()
+            root = g.add_task(1e5)
+            for _ in range(16):
+                g.add_task(2.6e8, deps=[root])
+            return ws.run(g).seconds
+
+        assert run(8) < run(1) / 3
+
+    def test_steals_happen_on_imbalance(self):
+        ws = WorkStealingRuntime(fig2_machine(), n_workers=8, locality="random")
+        g = TaskGraph()
+        root = g.add_task(1e4)
+        for _ in range(32):
+            g.add_task(1e7, deps=[root])  # all funneled to one deque
+        res = ws.run(g)
+        assert res.steals > 0
+        assert 0 < res.steal_ratio <= 1
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ReproError):
+            WorkStealingRuntime(fig2_machine(), locality="psychic")
+        with pytest.raises(ReproError):
+            WorkStealingRuntime(fig2_machine(), n_workers=0)
+
+
+class TestLocalityPolicies:
+    def build(self, locality):
+        ws = WorkStealingRuntime(smp20e7_4s(), n_workers=16, locality=locality,
+                                 seed=2)
+        g = TaskGraph()
+        bufs = [ws.machine.allocate(1 << 20, f"b{i}") for i in range(8)]
+        root = g.add_task(1e4)
+        prev_layer = [root]
+        for layer in range(4):
+            layer_tasks = []
+            for i in range(8):
+                layer_tasks.append(
+                    g.add_task(
+                        2e6,
+                        touches=[(bufs[i], 1 << 20, layer == 0)],
+                        deps=prev_layer,
+                    )
+                )
+            prev_layer = layer_tasks
+        return ws, g
+
+    def test_near_policy_orders_victims_by_distance(self):
+        ws, _ = self.build("near")
+        me = ws.machine.memory.numa_of_pu(ws._worker_pu[0])
+        order = ws._victim_order[0]
+        dists = [
+            ws.machine.memory.distance[
+                me, ws.machine.memory.numa_of_pu(ws._worker_pu[v])
+            ]
+            for v in order
+        ]
+        assert dists == sorted(dists)
+
+    def test_both_policies_complete(self):
+        for locality in ("near", "random"):
+            ws, g = self.build(locality)
+            res = ws.run(g)
+            assert res.tasks_run == len(g)
