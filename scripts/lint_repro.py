@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Repository preflight: verify every paper app, then byte-compile src.
+
+Usage:
+    PYTHONPATH=src python scripts/lint_repro.py [--dynamic]
+
+Runs the equivalent of ``repro-paper lint --all`` (exit 3 on any
+error-level finding) followed by ``python -m compileall src`` (exit 1 on
+syntax errors anywhere in the tree). Intended for CI and as the
+preflight step of ``scripts/regenerate_all.py``.
+"""
+
+from __future__ import annotations
+
+import compileall
+import os
+import sys
+
+
+def run_lint(dynamic: bool = False) -> int:
+    from repro.cli import main as cli_main
+
+    argv = ["lint", "--all"] + (["--dynamic"] if dynamic else [])
+    return cli_main(argv)
+
+
+def run_compileall() -> int:
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    ok = compileall.compile_dir(src, quiet=1, force=False)
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    dynamic = "--dynamic" in args
+
+    code = run_lint(dynamic=dynamic)
+    if code != 0:
+        print(f"lint_repro: lint failed (exit {code})", file=sys.stderr)
+        return code
+
+    code = run_compileall()
+    if code != 0:
+        print("lint_repro: compileall found syntax errors", file=sys.stderr)
+        return code
+
+    print("lint_repro: all apps lint clean, src byte-compiles")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,15 @@ from repro.experiments.report import format_counter_rows, format_table
 
 def main() -> None:
     out_path = sys.argv[1] if len(sys.argv) > 1 else None
+
+    # Preflight: every app must lint clean and src must byte-compile
+    # before we spend minutes regenerating figures from a broken tree.
+    import lint_repro
+
+    code = lint_repro.main([])
+    if code != 0:
+        raise SystemExit(code)
+
     scale = current_scale()
     chunks: list[str] = [f"# Full regeneration at scale {scale.name!r}", ""]
     raw: dict = {"scale": scale.name}

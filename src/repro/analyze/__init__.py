@@ -1,0 +1,173 @@
+"""repro.analyze — static deadlock/race/placement verification for ORWL.
+
+The pipeline (see docs/ANALYZE.md):
+
+1. **lint** — graph wiring checks (:mod:`repro.orwl.lint`);
+2. **placement** — Algorithm 1's mapping validated against the topology
+   and the oversubscription policy, plus the migrations-are-zero proof
+   (:mod:`repro.analyze.placement`);
+3. **probe** — each body driven once with force-granted locks to extract
+   its acquire/release/touch pattern (:mod:`repro.analyze.probe`);
+4. **deadlock** — zero-lag cycles in the lag-weighted wait-for graph
+   built from the initial FIFO order (:mod:`repro.analyze.deadlock`);
+5. **races** — Eraser-style locksets with split-descriptor aliasing
+   (:mod:`repro.analyze.races`);
+6. optional **dynamic cross-check** — a monitored execution confirming
+   or refuting the static findings (:mod:`repro.analyze.dynamic`).
+
+Because the probe consumes a runtime (it mutates handle and FIFO
+state), :func:`analyze` takes a *builder* — a zero-argument callable
+returning a fresh runtime — and builds one runtime per pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analyze.deadlock import check_deadlock
+from repro.analyze.dynamic import (
+    DynamicResult,
+    cross_check,
+    run_dynamic,
+)
+from repro.analyze.placement import check_placement, migrations_provably_zero
+from repro.analyze.probe import probe_program
+from repro.analyze.races import check_races, infer_aliases
+from repro.analyze.report import Finding, Report, json_text, sort_findings
+from repro.errors import MappingError, ScheduleError
+
+__all__ = [
+    "Analysis",
+    "analyze",
+    "analyze_runtime",
+    "analyze_app",
+    "Finding",
+    "Report",
+    "json_text",
+    "sort_findings",
+]
+
+
+@dataclass
+class Analysis:
+    """Everything one :func:`analyze` call produced."""
+
+    name: str
+    static: Report
+    dynamic: Report | None = None
+    placement: object = None
+    migrations_proved: bool | None = None
+    aliases: dict | None = None
+
+    @property
+    def report(self) -> Report:
+        """Static + dynamic findings merged into one report."""
+        merged = Report(program=self.name)
+        merged.extend(self.static.findings)
+        if self.dynamic is not None:
+            merged.extend(self.dynamic.findings)
+        return merged
+
+    def exit_code(self) -> int:
+        return self.report.exit_code()
+
+    def to_dict(self) -> dict:
+        d = self.report.to_dict()
+        d["migrations_provably_zero"] = self.migrations_proved
+        return d
+
+    def to_text(self) -> str:
+        lines = [self.report.to_text()]
+        if self.migrations_proved is not None:
+            lines.append(
+                "migrations provably zero: "
+                + ("yes (all threads pinned)" if self.migrations_proved
+                   else "no (unbound threads remain)")
+            )
+        return "\n".join(lines)
+
+
+def analyze_runtime(runtime, *, name: str = "") -> Analysis:
+    """All static passes on one runtime (consumed: do not run() after).
+
+    The runtime must be declared but not yet scheduled.
+    """
+    report = Report(program=name or "<program>")
+    report.extend(runtime.validate())
+
+    placement = None
+    migrations_proved = None
+    try:
+        placement = runtime.affinity_compute()
+    except MappingError as exc:
+        report.add("warning", "placement-failed",
+                   f"affinity_compute failed: {exc}")
+    if placement is not None:
+        n_threads = len(runtime.operations)
+        n_control = len(runtime.locations)
+        report.extend(check_placement(
+            runtime.topology, placement,
+            n_threads=n_threads, n_control=n_control,
+        ))
+        migrations_proved = migrations_provably_zero(
+            placement, n_threads=n_threads, n_control=n_control
+        )
+
+    aliases: dict = {}
+    try:
+        runtime.schedule()
+    except ScheduleError as exc:
+        report.add("error", "schedule-error", f"schedule() failed: {exc}",
+                   fix_hint="give every operation a body and every "
+                            "location a size")
+    else:
+        patterns = probe_program(runtime)
+        aliases = infer_aliases(patterns)
+        report.extend(check_deadlock(runtime, patterns))
+        report.extend(check_races(runtime, patterns, aliases=aliases))
+
+    return Analysis(
+        name=report.program,
+        static=report,
+        placement=placement,
+        migrations_proved=migrations_proved,
+        aliases=aliases,
+    )
+
+
+def analyze(
+    build: Callable[[], object],
+    *,
+    name: str = "",
+    dynamic: bool = False,
+    max_events: int | None = None,
+) -> Analysis:
+    """Static analysis of ``build()``'s program, optionally cross-checked
+    against a monitored execution of a second, fresh instance."""
+    analysis = analyze_runtime(build(), name=name)
+    if dynamic:
+        kwargs = {} if max_events is None else {"max_events": max_events}
+        result: DynamicResult = run_dynamic(
+            build, aliases=analysis.aliases, **kwargs
+        )
+        dyn = Report(program=analysis.name)
+        dyn.extend(cross_check(
+            analysis.static, result,
+            migrations_proved=analysis.migrations_proved,
+        ))
+        analysis.dynamic = dyn
+    return analysis
+
+
+def analyze_app(
+    app: str, *, dynamic: bool = False, max_events: int | None = None
+) -> Analysis:
+    """Analyze a registered paper application by name (see
+    :mod:`repro.analyze.apps`)."""
+    from repro.analyze.apps import app_builder
+
+    build = app_builder(app)
+    return analyze(
+        build, name=app, dynamic=dynamic, max_events=max_events
+    )

@@ -1,0 +1,66 @@
+"""Analyzer-sized builders for the three paper applications.
+
+Each builder returns a *fresh, unscheduled* runtime declaring the full
+task/location graph at a miniature problem size — large enough to
+exercise every wiring idiom (wavefront rotation, ring circulation,
+split descriptors), small enough that the dynamic cross-check completes
+in well under a second. The registry keys are the names accepted by
+``repro-paper lint``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.lk23 import Lk23Config, build_orwl_lk23
+from repro.apps.matmul import MatmulConfig, build_orwl_matmul
+from repro.apps.video import VideoConfig
+from repro.apps.video.pipeline import build_orwl_video
+from repro.errors import ReproError
+from repro.orwl.runtime import Runtime
+from repro.topology import smp12e5, smp12e5_4s
+
+__all__ = ["APP_BUILDERS", "app_builder", "app_names"]
+
+
+def build_lk23(*, affinity: bool = True) -> Runtime:
+    rt = Runtime(smp12e5(), affinity=affinity)
+    build_orwl_lk23(rt, Lk23Config(n=64, iterations=2, n_threads=16))
+    return rt
+
+
+def build_matmul(*, affinity: bool = True) -> Runtime:
+    rt = Runtime(smp12e5(), affinity=affinity)
+    build_orwl_matmul(rt, MatmulConfig(n=64, n_tasks=4))
+    return rt
+
+
+def build_video(*, affinity: bool = True) -> Runtime:
+    rt = Runtime(smp12e5_4s(), affinity=affinity)
+    build_orwl_video(
+        rt,
+        VideoConfig(
+            resolution="HD", frames=2, gmm_split=4, ccl_split=2, n_dilate=2
+        ),
+    )
+    return rt
+
+
+APP_BUILDERS: dict[str, Callable[..., Runtime]] = {
+    "lk23": build_lk23,
+    "matmul": build_matmul,
+    "video": build_video,
+}
+
+
+def app_names() -> list[str]:
+    return sorted(APP_BUILDERS)
+
+
+def app_builder(name: str) -> Callable[..., Runtime]:
+    try:
+        return APP_BUILDERS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown app {name!r}; known: {', '.join(app_names())}"
+        ) from None

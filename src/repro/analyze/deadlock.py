@@ -1,0 +1,282 @@
+"""Static deadlock detection on the probed wait-for graph.
+
+ORWL's liveness argument (Clauss & Gustedt) views the program as a
+marked graph: every location FIFO is a ring of grant groups (writers
+alone, adjacent readers coalesced) and every operation body is a cycle
+of acquire/release events. The *initial request order* computed by
+``schedule()`` places the tokens. A program can deadlock iff the
+dependency graph has a cycle that consumes no token — a **zero-lag
+cycle**:
+
+* intra-operation edges: event *i+1* of a body depends on event *i*
+  with lag 0; the wrap-around from the last event back to the first
+  carries lag 1 (it only happens in the *next* iteration);
+* FIFO edges: the grant of a handle in group *g* depends on the release
+  of every handle in group *g-1* with lag 0; the wrap from group 0 back
+  to the last group carries lag 1 (iterative handles re-insert their
+  request behind everyone already queued).
+
+No zero-lag cycle ⇒ from the initial FIFO positions every event can
+eventually fire — the *initial-position safety* proof for iterative
+programs. A zero-lag cycle is reported with a human-readable witness
+path. Two degenerate stalls are flagged separately: a handle that is
+enqueued but never acquired, and one that is acquired but never
+released, while later groups on the same location are still waiting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analyze.probe import ACQUIRE, OpPattern
+from repro.analyze.report import Finding
+from repro.orwl.runtime import initial_request_order
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orwl.runtime import Runtime
+
+__all__ = ["WaitForGraph", "build_wait_for_graph", "check_deadlock"]
+
+Node = tuple[int, int]  # (op_id, index into the op's sync_events)
+
+
+class WaitForGraph:
+    """Lag-annotated dependency graph over acquire/release events."""
+
+    def __init__(self) -> None:
+        self.labels: dict[Node, str] = {}
+        #: u -> [(v, lag)]: u cannot happen before v happened lag
+        #: iterations earlier.
+        self.edges: dict[Node, list[tuple[Node, int]]] = {}
+
+    def add_node(self, node: Node, label: str) -> None:
+        self.labels.setdefault(node, label)
+        self.edges.setdefault(node, [])
+
+    def add_edge(self, u: Node, v: Node, lag: int) -> None:
+        if u in self.edges and v in self.edges:
+            self.edges[u].append((v, lag))
+
+    def zero_lag_sccs(self) -> list[list[Node]]:
+        """Strongly connected components over the lag-0 edges (iterative
+        Tarjan), keeping only real cycles (size > 1 or a self-loop)."""
+        adj = {
+            u: [v for v, lag in vs if lag == 0] for u, vs in self.edges.items()
+        }
+        index: dict[Node, int] = {}
+        low: dict[Node, int] = {}
+        on_stack: set[Node] = set()
+        stack: list[Node] = []
+        sccs: list[list[Node]] = []
+        counter = [0]
+
+        for root in adj:
+            if root in index:
+                continue
+            work: list[tuple[Node, int]] = [(root, 0)]
+            while work:
+                node, child_i = work[-1]
+                if child_i == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                children = adj[node]
+                while child_i < len(children):
+                    child = children[child_i]
+                    child_i += 1
+                    if child not in index:
+                        work[-1] = (node, child_i)
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if recurse:
+                    continue
+                work.pop()
+                if low[node] == index[node]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    if len(comp) > 1 or node in adj[node]:
+                        sccs.append(comp)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return sccs
+
+    def witness_cycle(self, scc: list[Node]) -> list[Node]:
+        """One concrete zero-lag cycle inside *scc* (DFS walk)."""
+        members = set(scc)
+        start = scc[0]
+        path = [start]
+        seen = {start}
+        node = start
+        while True:
+            for v, lag in self.edges[node]:
+                if lag == 0 and v in members:
+                    if v == start:
+                        return path
+                    if v not in seen:
+                        path.append(v)
+                        seen.add(v)
+                        node = v
+                        break
+            else:  # pragma: no cover — SCC guarantees a successor
+                return path
+
+
+def _grant_groups(handles: list) -> list[list]:
+    """Coalesce an ordered request list into FIFO grant groups."""
+    groups: list[list] = []
+    for h in handles:
+        if groups and h.mode == "r" and groups[-1][0].mode == "r":
+            groups[-1].append(h)
+        else:
+            groups.append([h])
+    return groups
+
+
+def build_wait_for_graph(
+    runtime: "Runtime", patterns: dict[int, OpPattern]
+) -> WaitForGraph:
+    """Assemble the lag-weighted wait-for graph from the probed patterns."""
+    g = WaitForGraph()
+    acquire_node: dict[int, Node] = {}  # id(handle) -> node
+    release_node: dict[int, Node] = {}
+
+    for op_id, pattern in patterns.items():
+        events = pattern.sync_events
+        for i, ev in enumerate(events):
+            node = (op_id, i)
+            verb = "acquires" if ev.kind == ACQUIRE else "releases"
+            g.add_node(
+                node,
+                f"{pattern.op.name} {verb} {ev.handle.location.name!r}",
+            )
+            table = acquire_node if ev.kind == ACQUIRE else release_node
+            table.setdefault(id(ev.handle), node)
+        # Intra-operation program order.
+        for i in range(1, len(events)):
+            g.add_edge((op_id, i), (op_id, i - 1), 0)
+        if pattern.iterative and events:
+            g.add_edge((op_id, 0), (op_id, len(events) - 1), 1)
+
+    order = initial_request_order(runtime)
+    for loc in runtime.locations:
+        groups = _grant_groups(order[loc.loc_id])
+        m = len(groups)
+        for gi, group in enumerate(groups):
+            prev = groups[gi - 1]
+            for h in group:
+                a = acquire_node.get(id(h))
+                if a is None:
+                    continue
+                for h_prev in prev:
+                    r = release_node.get(id(h_prev))
+                    if r is None:
+                        continue
+                    if gi > 0:
+                        g.add_edge(a, r, 0)
+                    elif m >= 1 and h.iterative and h_prev.iterative:
+                        g.add_edge(a, r, 1)  # next-iteration wrap
+    return g
+
+
+def _stall_findings(
+    runtime: "Runtime", patterns: dict[int, OpPattern]
+) -> list[Finding]:
+    """Enqueued-but-never-acquired / acquired-but-never-released handles
+    that leave later grant groups waiting forever."""
+    findings: list[Finding] = []
+    acquired: set[int] = set()
+    released: set[int] = set()
+    complete: set[int] = set()  # op ids with trustworthy patterns
+    for op_id, pattern in patterns.items():
+        if not pattern.truncated and not pattern.error:
+            complete.add(op_id)
+        for ev in pattern.sync_events:
+            (acquired if ev.kind == ACQUIRE else released).add(id(ev.handle))
+
+    order = initial_request_order(runtime)
+    for loc in runtime.locations:
+        groups = _grant_groups(order[loc.loc_id])
+        for gi, group in enumerate(groups):
+            waiters = [
+                h
+                for later in groups[gi + 1:]
+                for h in later
+                if id(h) in acquired
+            ]
+            if not waiters:
+                continue
+            for h in group:
+                if h.op.op_id not in complete:
+                    continue
+                if id(h) not in acquired:
+                    findings.append(Finding(
+                        "error", "stalled-fifo",
+                        f"{h.op.name} enqueues a {h.mode!r} request on "
+                        f"location {loc.name!r} but its body never acquires "
+                        f"it; {len(waiters)} request(s) behind it can never "
+                        "be granted",
+                        subject=loc.name,
+                        fix_hint="acquire/release the handle in the body or "
+                                 "drop the handle",
+                    ))
+                elif id(h) not in released:
+                    findings.append(Finding(
+                        "error", "unreleased-handle",
+                        f"{h.op.name} acquires location {loc.name!r} but "
+                        f"never releases it; {len(waiters)} request(s) "
+                        "behind it can never be granted",
+                        subject=loc.name,
+                        fix_hint="release the handle before the body ends",
+                    ))
+    return findings
+
+
+def check_deadlock(
+    runtime: "Runtime", patterns: dict[int, OpPattern]
+) -> list[Finding]:
+    """All deadlock findings: zero-lag cycles (with witness) + stalls."""
+    findings: list[Finding] = []
+    for op_id, pattern in patterns.items():
+        if pattern.error:
+            findings.append(Finding(
+                "warning", "probe-error",
+                f"body of {pattern.op.name} raised during probing: "
+                f"{pattern.error}",
+                subject=pattern.op.name,
+            ))
+        elif pattern.truncated:
+            findings.append(Finding(
+                "warning", "probe-incomplete",
+                f"body of {pattern.op.name} exceeded the probe budget "
+                "before reaching an iteration boundary; deadlock analysis "
+                "for this operation is incomplete",
+                subject=pattern.op.name,
+            ))
+
+    g = build_wait_for_graph(runtime, patterns)
+    for scc in g.zero_lag_sccs():
+        cycle = g.witness_cycle(scc)
+        ops = sorted({g.labels[n].split(" ")[0] for n in cycle})
+        witness = " <- needs ".join(g.labels[n] for n in cycle)
+        findings.append(Finding(
+            "error", "deadlock-cycle",
+            "zero-lag wait-for cycle from the initial FIFO positions: "
+            f"{witness} <- needs (back to start)",
+            subject=", ".join(ops),
+            fix_hint="reorder the acquisitions or adjust init_rank so the "
+                     "initial grant order matches the bodies' acquisition "
+                     "order",
+        ))
+    findings.extend(_stall_findings(runtime, patterns))
+    return findings

@@ -1,0 +1,75 @@
+"""Placement verification: findings over ``Placement.violations``.
+
+Validates a computed (or hand-made) TreeMatch mapping against a
+topology and a thread census: bindings in bounds, every thread bound,
+per-core load within the oversubscription policy, control threads on
+their reserved PUs. Also states the migration proof: when every thread
+is pinned to a singleton cpuset, the run's migration counter is
+provably 0 (the affinity rows of Tables II-IV).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analyze.report import Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology.tree import Topology
+    from repro.treematch.mapping import Placement
+
+__all__ = ["SEVERITY_BY_CODE", "check_placement", "migrations_provably_zero"]
+
+#: How bad each structural violation is.
+SEVERITY_BY_CODE = {
+    "pu-out-of-range": "error",
+    "unbound-thread": "error",
+    "unbound-control": "warning",
+    "oversubscribed-core": "error",
+    "control-on-compute-pu": "warning",
+    "control-not-sibling": "warning",
+}
+
+_FIX_HINTS = {
+    "pu-out-of-range": "bind only PUs present in the topology",
+    "unbound-thread": "map every compute thread (rerun affinity_compute "
+                      "with the full matrix)",
+    "unbound-control": "bind the control thread or use control mode 'os'",
+    "oversubscribed-core": "raise the oversubscription factor or spread "
+                           "the threads",
+    "control-on-compute-pu": "reserve a hyperthread sibling or spare core "
+                             "for control threads",
+    "control-not-sibling": "place control threads on siblings of their "
+                           "owners' cores",
+}
+
+
+def check_placement(
+    topology: "Topology",
+    placement: "Placement",
+    *,
+    n_threads: int | None = None,
+    n_control: int | None = None,
+) -> list[Finding]:
+    """Findings for every structural violation of *placement*."""
+    return [
+        Finding(
+            SEVERITY_BY_CODE.get(code, "warning"),
+            code,
+            message,
+            subject=subject,
+            fix_hint=_FIX_HINTS.get(code, ""),
+        )
+        for code, message, subject in placement.violations(
+            topology, n_threads=n_threads, n_control=n_control
+        )
+    ]
+
+
+def migrations_provably_zero(
+    placement: "Placement", *, n_threads: int, n_control: int = 0
+) -> bool:
+    """Re-export of the proof predicate (see ``Placement``)."""
+    return placement.migrations_provably_zero(
+        n_threads=n_threads, n_control=n_control
+    )

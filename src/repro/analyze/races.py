@@ -1,0 +1,140 @@
+"""Static race detection: Eraser-style locksets over probed touches.
+
+Every probed ``Touch`` carries the set of handles held at that moment.
+Two operations race on a buffer when both touch it, at least one writes,
+and their *effective locksets* — the locations they hold handles on —
+share no common guard: nothing orders the two critical sections.
+
+One idiom needs care: **zero-copy split descriptors**. A scatter stage
+publishes a small descriptor of its input into a work location (video's
+``gmm_work``); split workers then touch the *input's* buffer while
+holding only a handle on the work location. That is safe — the work
+location's FIFO transitively orders access to the input — so a handle
+on the descriptor location counts as a guard on the described location.
+The alias is inferred from the publisher's own pattern: an operation
+that write-touches location *M* while simultaneously holding a write
+handle on *M* and a read handle on *L* establishes ``M ⇒ guards L``.
+
+A second check catches writes bypassing exclusivity: a write touch of a
+location's buffer while the operation holds only *read* handles on that
+location (``write-under-read-lock``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analyze.probe import OpPattern
+from repro.analyze.report import Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.orwl.runtime import Runtime
+
+__all__ = ["infer_aliases", "effective_lockset", "check_races"]
+
+
+def infer_aliases(patterns: dict[int, OpPattern]) -> dict[int, set[int]]:
+    """Descriptor aliases ``loc_id(M) -> {loc_id(L), ...}`` (see above)."""
+    aliases: dict[int, set[int]] = {}
+    for pattern in patterns.values():
+        for ev in pattern.touch_events:
+            if not ev.write:
+                continue
+            write_locs = [
+                h.location for h in ev.held
+                if h.mode == "w" and h.location.buffer is ev.buffer
+            ]
+            read_locs = [h.location for h in ev.held if h.mode == "r"]
+            for m in write_locs:
+                for l_ in read_locs:
+                    if l_.loc_id != m.loc_id:
+                        aliases.setdefault(m.loc_id, set()).add(l_.loc_id)
+    return aliases
+
+
+def effective_lockset(held: tuple, aliases: dict[int, set[int]]) -> frozenset[int]:
+    """Location ids guarded by the given held handles, aliases applied."""
+    locks = {h.location.loc_id for h in held}
+    for lid in list(locks):
+        locks |= aliases.get(lid, set())
+    return frozenset(locks)
+
+
+def check_races(
+    runtime: "Runtime",
+    patterns: dict[int, OpPattern],
+    *,
+    aliases: dict[int, set[int]] | None = None,
+) -> list[Finding]:
+    """All race findings over the probed touch events."""
+    if aliases is None:
+        aliases = infer_aliases(patterns)
+    loc_by_buffer = {
+        id(loc.buffer): loc
+        for loc in runtime.locations
+        if loc.buffer is not None
+    }
+
+    findings: list[Finding] = []
+    # accesses[buffer_id] -> list of (op, write, lockset)
+    accesses: dict[int, list] = {}
+    buffer_label: dict[int, str] = {}
+    read_lock_reported: set[tuple[int, int]] = set()
+
+    for pattern in patterns.values():
+        for ev in pattern.touch_events:
+            lockset = effective_lockset(ev.held, aliases)
+            bid = id(ev.buffer)
+            loc = loc_by_buffer.get(bid)
+            label = loc.name if loc is not None else getattr(
+                ev.buffer, "label", "<buffer>"
+            )
+            buffer_label[bid] = label
+            accesses.setdefault(bid, []).append(
+                (pattern.op, ev.write, lockset)
+            )
+            # Write through read-only guards on the touched location.
+            if ev.write and loc is not None:
+                on_loc = [h for h in ev.held if h.location is loc]
+                key = (pattern.op.op_id, loc.loc_id)
+                if (
+                    on_loc
+                    and all(h.mode == "r" for h in on_loc)
+                    and key not in read_lock_reported
+                ):
+                    read_lock_reported.add(key)
+                    findings.append(Finding(
+                        "error", "write-under-read-lock",
+                        f"{pattern.op.name} writes location {loc.name!r} "
+                        "while holding only read handles on it — the FIFO "
+                        "admits concurrent readers, so the write is "
+                        "unordered",
+                        subject=loc.name,
+                        fix_hint="acquire a write handle for the update",
+                    ))
+
+    reported: set[tuple] = set()
+    for bid, entries in accesses.items():
+        for i, (op_a, w_a, locks_a) in enumerate(entries):
+            for op_b, w_b, locks_b in entries[i + 1:]:
+                if op_a is op_b or not (w_a or w_b):
+                    continue
+                if locks_a & locks_b:
+                    continue
+                key = (bid, frozenset((op_a.op_id, op_b.op_id)))
+                if key in reported:
+                    continue
+                reported.add(key)
+                kind = "write/write" if (w_a and w_b) else "read/write"
+                findings.append(Finding(
+                    "error", "data-race",
+                    f"{kind} race on buffer {buffer_label[bid]!r}: "
+                    f"{op_a.name} and {op_b.name} touch it with no common "
+                    "guarding location (locksets "
+                    f"{sorted(locks_a)} vs {sorted(locks_b)})",
+                    subject=buffer_label[bid],
+                    fix_hint="route both accesses through handles on a "
+                             "shared location (or a split descriptor of "
+                             "it)",
+                ))
+    return findings

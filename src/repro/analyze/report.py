@@ -1,0 +1,182 @@
+"""The findings model shared by every analyzer (and the ORWL linter).
+
+A :class:`Finding` is one diagnostic: severity (``error`` > ``warning`` >
+``note``), a stable machine-readable ``code``, a human message, an
+optional ``subject`` (the operation/location/thread span the finding is
+about), an optional ``fix_hint``, and a ``source`` tag (``static`` or
+``dynamic``). :class:`Report` collects findings, keeps them in a stable
+canonical order, and renders them as text or a SARIF-ish JSON document.
+
+This module is deliberately standalone (no imports from ``repro.orwl`` /
+``repro.sim``) so the linter and all analyzers can share it without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "Report",
+    "severity_rank",
+    "sort_findings",
+    "json_text",
+]
+
+#: Recognized severities, most severe first.
+SEVERITIES = ("error", "warning", "note")
+
+
+def severity_rank(severity: str) -> int:
+    """0 for ``error``, 1 for ``warning``, 2 for ``note`` (unknown last)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        return len(SEVERITIES)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by an analyzer."""
+
+    severity: str  # "error" | "warning" | "note"
+    code: str
+    message: str
+    subject: str = ""
+    fix_hint: str = ""
+    source: str = "static"  # "static" | "dynamic"
+
+    @property
+    def level(self) -> str:
+        """Backwards-compatible alias for :attr:`severity` (old ``Issue``)."""
+        return self.severity
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+    def to_dict(self) -> dict:
+        d = {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.subject:
+            d["subject"] = self.subject
+        if self.fix_hint:
+            d["fix_hint"] = self.fix_hint
+        d["source"] = self.source
+        return d
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """The canonical stable order: severity, then code, subject, message."""
+    return sorted(
+        findings,
+        key=lambda f: (severity_rank(f.severity), f.code, f.subject, f.message),
+    )
+
+
+@dataclass
+class Report:
+    """An ordered collection of findings for one analyzed program."""
+
+    program: str = ""
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(
+        self,
+        severity: str,
+        code: str,
+        message: str,
+        *,
+        subject: str = "",
+        fix_hint: str = "",
+        source: str = "static",
+    ) -> Finding:
+        f = Finding(severity, code, message, subject=subject,
+                    fix_hint=fix_hint, source=source)
+        self.findings.append(f)
+        return f
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def merge(self, other: "Report") -> None:
+        self.findings.extend(other.findings)
+
+    def sorted(self) -> list[Finding]:
+        return sort_findings(self.findings)
+
+    def by_code(self, code: str) -> list[Finding]:
+        return [f for f in self.findings if f.code == code]
+
+    @property
+    def codes(self) -> list[str]:
+        """Sorted unique finding codes (handy in tests)."""
+        return sorted({f.code for f in self.findings})
+
+    def count(self, severity: str) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    @property
+    def max_severity(self) -> str | None:
+        """The most severe level present, or None for a clean report."""
+        present = sorted(
+            {f.severity for f in self.findings}, key=severity_rank
+        )
+        return present[0] if present else None
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity == "error" for f in self.findings)
+
+    def exit_code(self) -> int:
+        """CI contract: 3 when any error-level finding is present, else 0."""
+        return 3 if self.has_errors else 0
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Human-readable rendering, canonical order, fix hints inline."""
+        head = f"analysis of {self.program or '<program>'}"
+        if not self.findings:
+            return f"{head}: clean (no findings)"
+        lines = [
+            f"{head}: {len(self.findings)} finding(s) "
+            f"({self.count('error')} error, {self.count('warning')} warning, "
+            f"{self.count('note')} note)"
+        ]
+        for f in self.sorted():
+            line = str(f)
+            if f.subject:
+                line += f"  [{f.subject}]"
+            lines.append(line)
+            if f.fix_hint:
+                lines.append(f"    hint: {f.fix_hint}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """SARIF-ish JSON-compatible document."""
+        return {
+            "version": "repro-analyze/1",
+            "program": self.program,
+            "summary": {
+                "errors": self.count("error"),
+                "warnings": self.count("warning"),
+                "notes": self.count("note"),
+                "clean": not self.findings,
+            },
+            "findings": [f.to_dict() for f in self.sorted()],
+        }
+
+    def to_json(self) -> str:
+        return json_text(self.to_dict())
+
+
+def json_text(obj) -> str:
+    """The one JSON serialization used across the CLI (stable keys)."""
+    return json.dumps(obj, indent=1, sort_keys=False)

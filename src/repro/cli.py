@@ -8,8 +8,13 @@ Installed as ``repro-paper`` (see pyproject.toml)::
     repro-paper table 2                      # regenerate a table
     repro-paper comm-matrix                  # Fig. 1 ASCII rendering
     repro-paper allocation                   # Fig. 2 placement
+    repro-paper lint lk23 --dynamic          # static + dynamic verifier
+    repro-paper lint --all --json            # machine-readable findings
 
 Scale selection follows ``REPRO_SCALE`` (quick | paper).
+
+Exit codes: 0 success, 2 usage/runtime error, 3 when ``lint`` reports
+at least one error-level finding.
 """
 
 from __future__ import annotations
@@ -32,7 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("machines", help="list machine presets")
+    p_mach = sub.add_parser("machines", help="list machine presets")
+    p_mach.add_argument("--json", action="store_true",
+                        help="emit machine facts as JSON")
 
     p_topo = sub.add_parser("topology", help="print a machine's topology tree")
     p_topo.add_argument("machine", help="preset name, e.g. SMP12E5")
@@ -46,15 +53,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_tab = sub.add_parser("table", help="regenerate a table (1, 2, 3, 4)")
     p_tab.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    p_tab.add_argument("--json", action="store_true",
+                       help="emit table rows as JSON")
 
     sub.add_parser("comm-matrix", help="Fig. 1 communication matrix (ASCII)")
     sub.add_parser("allocation", help="Fig. 2 task allocation")
     sub.add_parser("dfg", help="Fig. 3 data-flow graph of the video app (DOT)")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static deadlock/race/placement verifier (see docs/ANALYZE.md)",
+    )
+    p_lint.add_argument("app", nargs="?", default=None,
+                        help="application to analyze (lk23, matmul, video)")
+    p_lint.add_argument("--all", action="store_true",
+                        help="analyze every registered application")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    p_lint.add_argument("--dynamic", action="store_true",
+                        help="cross-check against a monitored execution")
     return parser
 
 
-def _cmd_machines() -> str:
+def _cmd_machines(as_json: bool = False) -> str:
     from repro.topology import list_machines, machine_by_name
+
+    if as_json:
+        from repro.analyze.report import json_text
+
+        rows = []
+        for name in list_machines():
+            topo = machine_by_name(name)
+            rows.append({
+                "name": name,
+                "numa_nodes": len(topo.numa_nodes),
+                "cores": topo.n_cores,
+                "pus": topo.n_pus,
+                "hyperthreading": topo.has_hyperthreading,
+            })
+        return json_text(rows)
 
     lines = []
     for name in list_machines():
@@ -98,7 +135,7 @@ def _cmd_fig(number: int, machine: str | None) -> str:
     return format_figure(fig6_video(machine or "SMP12E5-4S"))
 
 
-def _cmd_table(number: int) -> str:
+def _cmd_table(number: int, as_json: bool = False) -> str:
     from repro.experiments import (
         format_table,
         table1_machines,
@@ -107,6 +144,17 @@ def _cmd_table(number: int) -> str:
         table4_video_counters,
     )
     from repro.experiments.report import format_counter_rows
+
+    if as_json:
+        import dataclasses
+
+        from repro.analyze.report import json_text
+
+        if number == 1:
+            return json_text(table1_machines())
+        fn = {2: table2_lk23_counters, 3: table3_matmul_counters,
+              4: table4_video_counters}[number]
+        return json_text([dataclasses.asdict(r) for r in fn()])
 
     if number == 1:
         rows = table1_machines()
@@ -141,30 +189,56 @@ def _cmd_dfg() -> str:
     return to_dot(rt, name="video-tracking")
 
 
+def _cmd_lint(
+    app: str | None, all_apps: bool, as_json: bool, dynamic: bool
+) -> tuple[str, int]:
+    """Run the analyzers; exit code 3 when any error-level finding."""
+    from repro.analyze import analyze_app, json_text
+    from repro.analyze.apps import app_names
+
+    if all_apps:
+        names = app_names()
+    elif app is not None:
+        names = [app]
+    else:
+        raise ReproError("lint needs an app name or --all "
+                         f"(known: {', '.join(app_names())})")
+
+    analyses = [analyze_app(n, dynamic=dynamic) for n in names]
+    code = max((a.exit_code() for a in analyses), default=0)
+    if as_json:
+        payload = [a.to_dict() for a in analyses]
+        return json_text(payload[0] if len(payload) == 1 else payload), code
+    return "\n\n".join(a.to_text() for a in analyses), code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    code = 0
     try:
         if args.command == "machines":
-            out = _cmd_machines()
+            out = _cmd_machines(args.json)
         elif args.command == "topology":
             out = _cmd_topology(args.machine, args.depth)
         elif args.command == "fig":
             out = _cmd_fig(args.number, args.machine)
         elif args.command == "table":
-            out = _cmd_table(args.number)
+            out = _cmd_table(args.number, args.json)
         elif args.command == "comm-matrix":
             out = _cmd_fig(1, None)
         elif args.command == "allocation":
             out = _cmd_fig(2, None)
         elif args.command == "dfg":
             out = _cmd_dfg()
+        elif args.command == "lint":
+            out, code = _cmd_lint(args.app, args.all, args.json, args.dynamic)
         else:  # pragma: no cover - argparse enforces choices
             raise ReproError(f"unknown command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(out)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,8 +23,9 @@ from repro.orwl.affinity import AffinityModule
 from repro.orwl.dependency import dependency_matrix
 from repro.orwl.handle import Handle
 from repro.orwl.location import Location
-from repro.orwl.runtime import RunResult, Runtime
+from repro.orwl.runtime import RunResult, Runtime, initial_request_order
 from repro.orwl.section import section
+from repro.orwl.split import fifo_channel, split_readers
 from repro.orwl.task import Operation, Task
 
 __all__ = [
@@ -36,5 +37,8 @@ __all__ = [
     "Handle",
     "section",
     "dependency_matrix",
+    "initial_request_order",
+    "split_readers",
+    "fifo_channel",
     "AffinityModule",
 ]

@@ -28,7 +28,7 @@ def dependency_matrix(runtime: "Runtime") -> CommunicationMatrix:
     n = len(ops)
     m = np.zeros((n, n))
     for op in ops:
-        for handle in op.handles:
+        for handle in op.all_handles:
             owner = handle.location.owner
             if owner is op:
                 continue

@@ -28,7 +28,7 @@ def edge_list(runtime: "Runtime") -> list[tuple[str, str, str, float]]:
     """
     edges = []
     for op in runtime.operations:
-        for h in op.handles:
+        for h in op.all_handles:
             traffic = h.traffic if h.traffic is not None else float(h.location.size)
             if h.mode == "w":
                 edges.append((op.name, h.location.name, "w", traffic))

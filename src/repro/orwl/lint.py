@@ -1,4 +1,4 @@
-"""Static checks on an ORWL program graph (``validate``).
+"""Static wiring checks on an ORWL program graph (``validate``).
 
 Run before ``schedule()`` to catch the classic wiring mistakes that
 otherwise only show up as deadlocks or silent no-communication:
@@ -9,41 +9,43 @@ otherwise only show up as deadlocks or silent no-communication:
 * an operation with no handles at all in a program that has locations,
 * non-iterative handles in programs that look iterative (mixed usage).
 
-Issues are advisory (the model permits all of these); ``level`` is
-``"warning"`` or ``"note"``.
+Handles attached through the DFG extensions (``orwl_split`` /
+``orwl_fifo``, see :mod:`repro.orwl.split`) count exactly like declared
+ones — a location whose only readers are split readers is *not* an
+orphan.
+
+Issues are advisory (the model permits all of these); findings are
+``"warning"`` or ``"note"`` level and use the shared findings model of
+:mod:`repro.analyze.report` — deeper analyses (deadlock, races,
+placement) live in :mod:`repro.analyze`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
+
+from repro.analyze.report import Finding, sort_findings
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.orwl.runtime import Runtime
 
 __all__ = ["Issue", "validate_program"]
 
-
-@dataclass(frozen=True)
-class Issue:
-    level: str  # "warning" | "note"
-    code: str
-    message: str
-
-    def __str__(self) -> str:  # pragma: no cover
-        return f"[{self.level}] {self.code}: {self.message}"
+#: Backwards-compatible alias — the old ``Issue(level, code, message)``
+#: shape is the first three fields of :class:`Finding`.
+Issue = Finding
 
 
-def validate_program(runtime: "Runtime") -> list[Issue]:
-    """Inspect the declared graph; returns a list of issues (possibly empty)."""
-    issues: list[Issue] = []
+def validate_program(runtime: "Runtime") -> list[Finding]:
+    """Inspect the declared graph; returns findings in canonical order."""
+    findings: list[Finding] = []
     readers: dict[int, int] = {loc.loc_id: 0 for loc in runtime.locations}
     writers: dict[int, int] = {loc.loc_id: 0 for loc in runtime.locations}
     owner_handles: dict[int, int] = {loc.loc_id: 0 for loc in runtime.locations}
     iterative_seen = non_iterative_seen = False
 
     for op in runtime.operations:
-        for h in op.handles:
+        for h in op.all_handles:
             lid = h.location.loc_id
             if h.mode == "r":
                 readers[lid] += 1
@@ -59,41 +61,50 @@ def validate_program(runtime: "Runtime") -> list[Issue]:
     for loc in runtime.locations:
         lid = loc.loc_id
         if writers[lid] and not readers[lid]:
-            issues.append(Issue(
+            findings.append(Finding(
                 "note", "unread-location",
                 f"location {loc.name!r} is written but never read",
+                subject=loc.name,
+                fix_hint="drop the location or add a reader",
             ))
         if readers[lid] and not writers[lid]:
-            issues.append(Issue(
+            findings.append(Finding(
                 "warning", "writerless-location",
                 f"location {loc.name!r} has {readers[lid]} reader(s) but "
                 "no writer — reads will only ever observe initial data",
+                subject=loc.name,
+                fix_hint="give some operation a write handle on it",
             ))
         if not readers[lid] and not writers[lid]:
-            issues.append(Issue(
+            findings.append(Finding(
                 "warning", "orphan-location",
                 f"location {loc.name!r} has no handles at all",
+                subject=loc.name,
+                fix_hint="attach handles (declared or via orwl_split/"
+                         "orwl_fifo) or remove the location",
             ))
         elif owner_handles[lid] == 0:
-            issues.append(Issue(
+            findings.append(Finding(
                 "note", "absent-owner",
                 f"owner {loc.owner.name!r} holds no handle on its own "
                 f"location {loc.name!r}",
+                subject=loc.name,
             ))
 
     if runtime.locations:
         for op in runtime.operations:
-            if not op.handles:
-                issues.append(Issue(
+            if not op.all_handles:
+                findings.append(Finding(
                     "note", "handleless-operation",
                     f"operation {op.name!r} uses no locations "
                     "(pure compute)",
+                    subject=op.name,
                 ))
 
     if iterative_seen and non_iterative_seen:
-        issues.append(Issue(
+        findings.append(Finding(
             "note", "mixed-iteration",
             "program mixes iterative and one-shot handles; one-shot "
             "handles stop participating after their first release",
         ))
-    return issues
+    return sort_findings(findings)

@@ -36,9 +36,37 @@ from repro.topology.tree import Topology
 from repro.treematch.commmatrix import CommunicationMatrix
 from repro.treematch.mapping import Placement
 
-__all__ = ["Runtime", "RunResult"]
+__all__ = ["Runtime", "RunResult", "initial_request_order"]
 
 AFFINITY_ENV = "ORWL_AFFINITY"
+
+
+def initial_request_order(runtime: "Runtime") -> dict[int, list]:
+    """Per-location handle order of the initial FIFOs, ``loc_id → [Handle]``.
+
+    This is the coordination step Listing 1 performs in
+    ``orwl_schedule()``: requests sort by init rank (writers 0, readers 1
+    unless overridden — see ``Handle.init_rank``), then operation id, then
+    declaration order. Extension-attached handles (orwl_split/orwl_fifo)
+    participate exactly like declared ones. ``schedule()`` consumes this
+    order to seed the FIFOs; the static analyzers consume it to reason
+    about grant order without running anything — sharing the helper keeps
+    the two views identical by construction.
+    """
+    per_location: dict[int, list] = {loc.loc_id: [] for loc in runtime.locations}
+    for op in runtime.operations:
+        for seq, handle in enumerate(op.all_handles):
+            rank = (
+                handle.init_rank
+                if handle.init_rank is not None
+                else (0 if handle.mode == "w" else 1)
+            )
+            key = (rank, op.op_id, seq)
+            per_location[handle.location.loc_id].append((key, handle))
+    return {
+        lid: [handle for _, handle in sorted(entries, key=lambda kv: kv[0])]
+        for lid, entries in per_location.items()
+    }
 
 
 @dataclass
@@ -164,23 +192,11 @@ class Runtime:
                     f"location {loc.name!r} was never scaled to a size"
                 )
 
-        # Deterministic initial request order per location: by init rank
-        # (writers 0, readers 1, unless overridden — see Handle.init_rank),
-        # then operation id, then declaration order. This is the
-        # coordination step Listing 1 performs in orwl_schedule().
-        per_location: dict[int, list] = {loc.loc_id: [] for loc in self.locations}
-        for op in self.operations:
-            for seq, handle in enumerate(op.handles):
-                rank = (
-                    handle.init_rank
-                    if handle.init_rank is not None
-                    else (0 if handle.mode == "w" else 1)
-                )
-                key = (rank, op.op_id, seq)
-                per_location[handle.location.loc_id].append((key, handle))
+        # Deterministic initial request order per location — see
+        # :func:`initial_request_order` (shared with the static analyzers).
+        per_location = initial_request_order(self)
         for loc in self.locations:
-            entries = sorted(per_location[loc.loc_id], key=lambda kv: kv[0])
-            for _, handle in entries:
+            for handle in per_location[loc.loc_id]:
                 loc.fifo.insert(handle._new_request())
             loc.fifo.advance()
 

@@ -1,22 +1,38 @@
-"""DFG extensions: ``orwl_split`` (and the Fig. 3 fan-out idiom).
+"""DFG extensions: ``orwl_split`` and ``orwl_fifo`` (the Fig. 3 idioms).
 
 ``split_readers`` distributes read access to one location over *k*
 operations, each consuming ``1/k`` of the payload — the primitive used to
 parallelize the GMM and CCL stages of the video pipeline. Each reader's
 handle carries a proportional ``traffic`` so the communication matrix sees
 the split (cf. the block structure of Fig. 1).
+
+``fifo_channel`` is the buffered producer→consumer channel of the ORWL DFG
+extensions: a ring of *depth* slot locations through which the writer can
+run up to ``depth - 1`` iterations ahead of the reader instead of
+handshaking on a single location.
+
+Handles created by either extension are attached to the operations via
+``Operation.ext_handles`` (not the user-declared ``handles`` list); every
+graph consumer — ``schedule()``, dependency extraction, the linter, the
+analyzers — must therefore iterate ``Operation.all_handles``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.errors import ORWLError
+from repro.errors import HandleStateError, ORWLError
 from repro.orwl.handle import Handle
 from repro.orwl.location import Location
 from repro.orwl.task import Operation
 
-__all__ = ["split_readers", "split_fraction"]
+__all__ = [
+    "split_readers",
+    "split_fraction",
+    "fifo_channel",
+    "FifoChannel",
+    "FifoEndpoint",
+]
 
 
 def split_fraction(location: Location, k: int) -> float:
@@ -38,7 +54,103 @@ def split_readers(
     share = split_fraction(location, len(ops))
     handles: list[Handle] = []
     for op in ops:
-        h = op.read_handle(location, iterative=iterative)
+        h = op._insert_ext_handle(location, "r", iterative)
         h.traffic = share
         handles.append(h)
     return handles
+
+
+class FifoEndpoint:
+    """One side (writer or reader) of a :class:`FifoChannel`.
+
+    Mirrors the single-handle blocking protocol — ``yield from
+    acquire()``, ``touch()``/``map()``/``store()``, ``release()`` — but
+    each acquire/release pair advances to the next slot of the ring, so a
+    writer endpoint may hold slot ``k+1`` while the reader still drains
+    slot ``k``.
+    """
+
+    def __init__(self, channel: "FifoChannel", op: Operation, mode: str,
+                 iterative: bool) -> None:
+        self.channel = channel
+        self.op = op
+        self.mode = mode
+        self.handles: list[Handle] = [
+            op._insert_ext_handle(slot, mode, iterative)
+            for slot in channel.slots
+        ]
+        self._next = 0
+
+    @property
+    def current(self) -> Handle:
+        """The slot handle the endpoint currently targets."""
+        return self.handles[self._next % len(self.handles)]
+
+    def acquire(self):
+        """Generator: block until the current slot is granted."""
+        yield from self.current.acquire()
+
+    def release(self) -> None:
+        """Release the current slot and advance to the next one."""
+        h = self.current
+        if not h.held:
+            raise HandleStateError(
+                f"fifo endpoint {self.op.name!r}/{self.channel.name!r}: "
+                "release without acquire"
+            )
+        h.release()
+        self._next += 1
+
+    def touch(self, nbytes: float | None = None):
+        return self.current.touch(nbytes)
+
+    def map(self):
+        return self.current.map()
+
+    def store(self, value) -> None:
+        self.current.store(value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<FifoEndpoint {self.mode} op={self.op.name!r} "
+            f"chan={self.channel.name!r} slot={self._next % len(self.handles)}>"
+        )
+
+
+class FifoChannel:
+    """A ring of *depth* slot locations forming a buffered channel."""
+
+    def __init__(self, owner: Operation, name: str, slot_bytes: int,
+                 depth: int) -> None:
+        if depth < 1:
+            raise ORWLError(f"fifo depth must be >= 1, got {depth}")
+        if slot_bytes <= 0:
+            raise ORWLError(f"fifo slot size must be positive, got {slot_bytes}")
+        self.name = name
+        self.owner = owner
+        self.slots: list[Location] = [
+            owner.location(f"{name}@{k}", slot_bytes) for k in range(depth)
+        ]
+        for slot in self.slots:
+            slot.meta["fifo_channel"] = name
+
+    @property
+    def depth(self) -> int:
+        return len(self.slots)
+
+    def writer(self, op: Operation, *, iterative: bool = True) -> FifoEndpoint:
+        """Attach a writing endpoint for *op* (one handle per slot)."""
+        return FifoEndpoint(self, op, "w", iterative)
+
+    def reader(self, op: Operation, *, iterative: bool = True) -> FifoEndpoint:
+        """Attach a reading endpoint for *op* (one handle per slot)."""
+        return FifoEndpoint(self, op, "r", iterative)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FifoChannel {self.name!r} depth={self.depth}>"
+
+
+def fifo_channel(owner: Operation, name: str, slot_bytes: int,
+                 depth: int = 2) -> FifoChannel:
+    """``orwl_fifo``: create a buffered channel owned by *owner*."""
+    return FifoChannel(owner, name, slot_bytes, depth)

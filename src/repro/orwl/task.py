@@ -36,6 +36,12 @@ class Operation:
         self.name = name
         self.body = body
         self.handles: list[Handle] = []
+        #: Handles attached by DFG extensions (orwl_split / orwl_fifo, see
+        #: :mod:`repro.orwl.split`) rather than declared directly. They
+        #: take part in scheduling, dependency extraction and analysis
+        #: exactly like declared handles, but are kept apart so extension
+        #: sugar never perturbs the user's declaration order.
+        self.ext_handles: list[Handle] = []
         self.locations: list[Location] = []
 
     # -- declaration API ------------------------------------------------------
@@ -57,6 +63,26 @@ class Operation:
         handle = Handle(self, location, mode, iterative=iterative)
         self.handles.append(handle)
         return handle
+
+    def _insert_ext_handle(self, location: Location, mode: str, iterative: bool) -> Handle:
+        """Attach an extension-owned handle (orwl_split / orwl_fifo)."""
+        self.task.runtime._check_not_scheduled("insert a handle")
+        handle = Handle(self, location, mode, iterative=iterative)
+        self.ext_handles.append(handle)
+        return handle
+
+    @property
+    def all_handles(self) -> list[Handle]:
+        """Declared handles followed by extension-attached ones.
+
+        Every consumer of the program graph (``schedule()``, dependency
+        extraction, graph export, the linter and the analyzers) must use
+        this view — iterating ``handles`` alone silently drops split/fifo
+        wiring.
+        """
+        if not self.ext_handles:
+            return list(self.handles)
+        return [*self.handles, *self.ext_handles]
 
     def set_body(self, body: BodyFn) -> None:
         self.body = body

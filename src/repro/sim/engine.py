@@ -24,6 +24,10 @@ class Engine:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._events_processed = 0
+        #: Observers called as ``watcher(now)`` after every processed
+        #: event — the dynamic-analysis tap (see repro.analyze.dynamic).
+        #: Keep them cheap: they run inside the hot loop.
+        self.watchers: list[Callable[[float], None]] = []
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
         """Run *fn* at ``now + delay`` (delay may be 0, never negative)."""
@@ -54,6 +58,9 @@ class Engine:
         self.now = when
         self._events_processed += 1
         fn()
+        if self.watchers:
+            for watcher in self.watchers:
+                watcher(self.now)
         return True
 
     def run(self, *, max_cycles: float | None = None, max_events: int | None = None) -> None:

@@ -85,6 +85,11 @@ class SimMachine:
             wakeup_migrate_prob=self.model.wakeup_migrate_prob,
         )
         self.threads: list[SimThread] = []
+        #: Dynamic-analysis monitors (see repro.analyze.dynamic). Duck
+        #: typed: any of ``on_touch(thread, buffer, nbytes, write)``,
+        #: ``on_block(thread, event)``, ``on_finish(thread)`` is called
+        #: when present. Empty for normal runs — zero overhead.
+        self.monitors: list = []
         self.trace: Trace | None = Trace() if trace else None
         self.clock_hz = float(topology.root.attrs.get("clock_hz", 2.6e9))
         self._ready: deque[SimThread] = deque()
@@ -214,6 +219,12 @@ class SimMachine:
             tid = thread.tid if thread is not None else -1
             self.trace.record(self.engine.now, tid, tag, detail)
 
+    def _notify_monitors(self, method: str, *args) -> None:
+        for monitor in self.monitors:
+            fn = getattr(monitor, method, None)
+            if fn is not None:
+                fn(*args)
+
     def _on_signal(self, event: SimEvent) -> None:
         # Called synchronously from app code; defer wakeups to the engine
         # so generator execution is never reentrant.
@@ -303,6 +314,10 @@ class SimMachine:
                 return
             if isinstance(op, Touch):
                 nbytes = op.nbytes if op.nbytes is not None else op.buffer.size
+                if self.monitors:
+                    self._notify_monitors(
+                        "on_touch", thread, op.buffer, nbytes, op.write
+                    )
                 priced = self.caches.touch(
                     thread.pu, op.buffer, nbytes, write=op.write,
                     counters=thread.counters,
@@ -345,6 +360,8 @@ class SimMachine:
                 thread.state = "blocked"
                 thread.waiting_on = event
                 event.waiters.append(thread)
+                if self.monitors:
+                    self._notify_monitors("on_block", thread, event)
                 self._trace("block", thread, event.name)
                 self._release_pu(thread)
                 self._dispatch()
@@ -437,6 +454,8 @@ class SimMachine:
 
     def _finish(self, thread: SimThread, *, crashed: bool = False) -> None:
         thread.state = "done"
+        if self.monitors:
+            self._notify_monitors("on_finish", thread)
         self._trace("crash" if crashed else "done", thread)
         if thread.pu is not None:
             self._release_pu(thread)

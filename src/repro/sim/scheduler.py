@@ -56,6 +56,10 @@ class OSScheduler:
         self.migrate_prob = migrate_prob
         self.wakeup_migrate_prob = wakeup_migrate_prob
         self._all_pus = [pu.os_index for pu in topology.pus]
+        #: Observers called as ``hook(pu, thread)`` on every occupation —
+        #: lets the dynamic analyzer watch placements and migrations as
+        #: they happen (see repro.analyze.dynamic).
+        self.on_place: list = []
         self._busy: dict[int, SimThread | None] = {p: None for p in self._all_pus}
         self._node_load: dict[int, int] = {
             i: 0 for i in range(len(topology.numa_nodes))
@@ -68,6 +72,8 @@ class OSScheduler:
             raise SimulationError(f"PU {pu} already busy")
         self._busy[pu] = thread
         self._node_load[self.memory.numa_of_pu(pu)] += 1
+        for hook in self.on_place:
+            hook(pu, thread)
 
     def release(self, pu: int) -> None:
         if self._busy[pu] is None:

@@ -80,6 +80,135 @@ class Placement:
         except (KeyError, TypeError, ValueError) as exc:
             raise MappingError(f"bad placement record: {exc}") from exc
 
+    def violations(
+        self,
+        topology: Topology,
+        *,
+        n_threads: int | None = None,
+        n_control: int | None = None,
+    ) -> list[tuple[str, str, str]]:
+        """Structural checks of this mapping against *topology*.
+
+        Returns ``(code, message, subject)`` tuples (empty = valid):
+
+        * ``pu-out-of-range`` — a binding targets a PU the topology does
+          not have;
+        * ``unbound-thread`` — with *n_threads* given, a compute thread
+          has no PU (its migrations cannot be proven zero);
+        * ``unbound-control`` — with *n_control* given and a non-``os``
+          control mode, a control thread has no PU;
+        * ``oversubscribed-core`` — a mapping leaf (core in core
+          granularity, PU otherwise) hosts more compute threads than
+          ``oversub_factor`` allows;
+        * ``control-on-compute-pu`` — a control thread shares its PU
+          with a compute thread;
+        * ``control-not-sibling`` — in ``ht-sibling`` mode, a control
+          thread's PU shares a core with no compute thread.
+
+        The severity policy lives in :mod:`repro.analyze.placement`;
+        this method stays pure topology arithmetic.
+        """
+        out: list[tuple[str, str, str]] = []
+        valid_pus = {pu.os_index for pu in topology.pus}
+        for label, table in (
+            ("compute", self.thread_to_pu),
+            ("control", self.control_to_pu),
+        ):
+            for tid, pu in sorted(table.items()):
+                if pu not in valid_pus:
+                    out.append((
+                        "pu-out-of-range",
+                        f"{label} thread {tid} bound to PU {pu}, but "
+                        f"{topology.name!r} has PUs "
+                        f"0..{topology.n_pus - 1}",
+                        f"{label}:{tid}",
+                    ))
+        if n_threads is not None:
+            for tid in range(n_threads):
+                if tid not in self.thread_to_pu:
+                    out.append((
+                        "unbound-thread",
+                        f"compute thread {tid} has no PU in the mapping",
+                        f"compute:{tid}",
+                    ))
+        if n_control is not None and self.control_mode != "os":
+            for cid in range(n_control):
+                if cid not in self.control_to_pu:
+                    out.append((
+                        "unbound-control",
+                        f"control thread {cid} has no PU although control "
+                        f"mode is {self.control_mode!r}",
+                        f"control:{cid}",
+                    ))
+
+        # Per-leaf compute load against the oversubscription policy.
+        def leaf_of(pu: int):
+            if pu not in valid_pus:
+                return None
+            if self.granularity == "core":
+                return ("core", topology.core_of_pu(pu).logical_index)
+            return ("pu", pu)
+
+        load: dict = {}
+        for tid, pu in self.thread_to_pu.items():
+            leaf = leaf_of(pu)
+            if leaf is not None:
+                load.setdefault(leaf, []).append(tid)
+        for (kind, idx), tids in sorted(load.items()):
+            if len(tids) > self.oversub_factor:
+                out.append((
+                    "oversubscribed-core",
+                    f"{kind} {idx} hosts {len(tids)} compute threads "
+                    f"{sorted(tids)} but the oversubscription policy "
+                    f"allows {self.oversub_factor}",
+                    f"{kind}:{idx}",
+                ))
+
+        compute_pus = set(self.thread_to_pu.values())
+        compute_cores = {
+            topology.core_of_pu(pu).logical_index
+            for pu in compute_pus
+            if pu in valid_pus
+        }
+        for cid, pu in sorted(self.control_to_pu.items()):
+            if pu in compute_pus:
+                out.append((
+                    "control-on-compute-pu",
+                    f"control thread {cid} bound to PU {pu}, which also "
+                    "hosts a compute thread",
+                    f"control:{cid}",
+                ))
+            elif (
+                self.control_mode == "ht-sibling"
+                and pu in valid_pus
+                and topology.core_of_pu(pu).logical_index not in compute_cores
+            ):
+                out.append((
+                    "control-not-sibling",
+                    f"control thread {cid} on PU {pu} shares a core with "
+                    "no compute thread despite ht-sibling control mode",
+                    f"control:{cid}",
+                ))
+        return out
+
+    def migrations_provably_zero(
+        self, *, n_threads: int, n_control: int = 0
+    ) -> bool:
+        """True when every thread is pinned to exactly one PU.
+
+        Singleton cpusets make the OS scheduler's placement a constant,
+        so the migration counter must read 0 (the affinity rows of
+        Tables II-IV). Control threads left to the OS (mode ``"os"``)
+        may migrate, so they must be covered too.
+        """
+        if any(tid not in self.thread_to_pu for tid in range(n_threads)):
+            return False
+        if n_control > 0 and self.control_mode == "os":
+            return False
+        if n_control > 0:
+            return all(c in self.control_to_pu for c in range(n_control))
+        return True
+
     def slit_cost(self, topology: Topology, comm: CommunicationMatrix) -> float:
         """Traffic weighted by SLIT NUMA distance (latency-proportional).
 

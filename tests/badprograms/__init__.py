@@ -1,0 +1,7 @@
+"""Gallery of deliberately broken ORWL programs for the analyzers.
+
+Each module exposes ``build()`` returning a fresh, unscheduled runtime
+(or, for :mod:`oversub`, a ``(topology, placement)`` pair) exhibiting
+exactly one class of bug. The analyzer tests assert that each program
+is flagged with its expected finding codes — and nothing stronger.
+"""

@@ -1,0 +1,42 @@
+"""Two-task cyclic wait: A holds L1 wanting L2, B holds L2 wanting L1.
+
+``init_rank = -1`` on B's L2 handle puts B ahead of A in L2's initial
+FIFO, so each task is granted its first lock and blocks forever on the
+second — the textbook zero-lag cycle. Expected: ``deadlock-cycle``
+statically, ``deadlock-confirmed`` from the dynamic cross-check.
+"""
+
+from repro.orwl import Runtime
+from repro.topology import fig2_machine
+
+
+def build():
+    rt = Runtime(fig2_machine(), affinity=False)
+    a = rt.task("A")
+    b = rt.task("B")
+    l1 = a.location("L1", 1024)
+    l2 = b.location("L2", 1024)
+
+    a1 = a.write_handle(l1)
+    a2 = a.write_handle(l2)
+    b2 = b.write_handle(l2)
+    b1 = b.write_handle(l1)
+    b2.init_rank = -1  # B is granted L2 first: the cycle closes
+
+    def body_a(op):
+        yield from a1.acquire()
+        yield from a2.acquire()
+        yield a2.touch()
+        a2.release()
+        a1.release()
+
+    def body_b(op):
+        yield from b2.acquire()
+        yield from b1.acquire()
+        yield b1.touch()
+        b1.release()
+        b2.release()
+
+    a.set_body(body_a)
+    b.set_body(body_b)
+    return rt

@@ -1,0 +1,29 @@
+"""Self-deadlock: one task acquires two write handles on one location.
+
+The second handle's request sits behind the first in the location FIFO;
+holding the first while waiting on the second can never be granted.
+Expected: ``deadlock-cycle`` statically (the FIFO edge from the second
+acquire to the first release closes a zero-lag cycle through the body's
+own event chain), ``deadlock-confirmed`` dynamically.
+"""
+
+from repro.orwl import Runtime
+from repro.topology import fig2_machine
+
+
+def build():
+    rt = Runtime(fig2_machine(), affinity=False)
+    t = rt.task("greedy")
+    loc = t.location("twice_locked", 1024)
+    h1 = t.write_handle(loc)
+    h2 = t.write_handle(loc)
+
+    def body(op):
+        yield from h1.acquire()
+        yield from h2.acquire()  # FIFO: behind h1, which is still held
+        yield h2.touch()
+        h2.release()
+        h1.release()
+
+    t.set_body(body)
+    return rt

@@ -1,0 +1,24 @@
+"""A hand-made broken placement: oversubscription, bad PU, unbound thread.
+
+Expected from ``check_placement`` (n_threads=4): ``oversubscribed-core``
+(threads 0 and 1 share PU 0 with oversub_factor 1), ``pu-out-of-range``
+(thread 2 on a PU the topology does not have) and ``unbound-thread``
+(thread 3 missing from the mapping).
+"""
+
+from repro.treematch.mapping import Placement
+from repro.topology import fig2_machine
+
+N_THREADS = 4
+
+
+def build():
+    topology = fig2_machine()
+    placement = Placement(
+        thread_to_pu={0: 0, 1: 0, 2: topology.n_pus + 7},
+        control_mode="os",
+        granularity="pu",
+        oversub_factor=1,
+        topology_name=topology.name,
+    )
+    return topology, placement

@@ -1,0 +1,33 @@
+"""Unguarded buffer access: one task touches another's buffer directly.
+
+Task ``locked`` accesses its location under a proper write handle; task
+``rogue`` yields a raw ``Touch`` on the same buffer while holding
+nothing, so the common lockset is empty. Expected: ``data-race``
+(write/write) statically, ``race-confirmed`` from the dynamic
+cross-check.
+"""
+
+from repro.orwl import Runtime
+from repro.sim.process import Touch
+from repro.topology import fig2_machine
+
+
+def build():
+    rt = Runtime(fig2_machine(), affinity=False)
+    locked = rt.task("locked")
+    rogue = rt.task("rogue")
+    loc = locked.location("shared", 1024)
+    h = locked.write_handle(loc)
+
+    def locked_body(op):
+        yield from h.acquire()
+        yield h.touch()
+        h.release()
+
+    def rogue_body(op):
+        # Bypasses the lock protocol entirely: no handle is held.
+        yield Touch(loc.buffer, 512, write=True)
+
+    locked.set_body(locked_body)
+    rogue.set_body(rogue_body)
+    return rt

@@ -1,0 +1,28 @@
+"""A location that is only ever read: no writer can feed the readers.
+
+Expected: ``writerless-location`` (warning) from the graph lint.
+"""
+
+from repro.orwl import Runtime
+from repro.sim.process import Compute
+from repro.topology import fig2_machine
+
+
+def build():
+    rt = Runtime(fig2_machine(), affinity=False)
+    owner = rt.task("owner")
+    reader = rt.task("reader")
+    loc = owner.location("orphan_data", 1024)
+    r = reader.read_handle(loc)
+
+    def owner_body(op):
+        yield Compute(1e3)
+
+    def reader_body(op):
+        yield from r.acquire()
+        yield r.touch()
+        r.release()
+
+    owner.set_body(owner_body)
+    reader.set_body(reader_body)
+    return rt

@@ -1,0 +1,102 @@
+"""The bad-program gallery: each analyzer flags exactly its bug.
+
+Companion check: the three paper applications come back clean (see
+test_analyze_apps.py). Together these pin down both the detection power
+and the false-positive behaviour of repro.analyze.
+"""
+
+import pytest
+
+from tests.badprograms import cyclic, double_bind, oversub, race, writerless
+from repro.analyze import analyze
+from repro.analyze.placement import check_placement
+
+
+def codes(report, severity=None):
+    return {
+        f.code
+        for f in report.findings
+        if severity is None or f.severity == severity
+    }
+
+
+class TestCyclicWait:
+    def test_static_detects_cycle(self):
+        a = analyze(cyclic.build, name="cyclic")
+        assert "deadlock-cycle" in codes(a.static, "error")
+        assert a.exit_code() == 3
+
+    def test_witness_names_both_operations(self):
+        a = analyze(cyclic.build, name="cyclic")
+        msg = next(
+            f.message for f in a.static.findings if f.code == "deadlock-cycle"
+        )
+        assert "A" in msg and "B" in msg
+
+    def test_dynamic_confirms(self):
+        a = analyze(cyclic.build, name="cyclic", dynamic=True)
+        assert "deadlock-confirmed" in codes(a.dynamic)
+
+    def test_no_race_reported(self):
+        a = analyze(cyclic.build, name="cyclic")
+        assert "data-race" not in codes(a.static)
+
+
+class TestDoubleBind:
+    def test_static_detects_self_deadlock(self):
+        a = analyze(double_bind.build, name="double-bind")
+        assert "deadlock-cycle" in codes(a.static, "error")
+
+    def test_dynamic_confirms(self):
+        a = analyze(double_bind.build, name="double-bind", dynamic=True)
+        assert "deadlock-confirmed" in codes(a.dynamic)
+
+
+class TestWriterless:
+    def test_lint_flags_writerless_location(self):
+        a = analyze(writerless.build, name="writerless")
+        assert "writerless-location" in codes(a.static, "warning")
+
+    def test_no_deadlock_or_race(self):
+        a = analyze(writerless.build, name="writerless")
+        assert "deadlock-cycle" not in codes(a.static)
+        assert "data-race" not in codes(a.static)
+
+
+class TestRace:
+    def test_static_detects_write_write_race(self):
+        a = analyze(race.build, name="race")
+        assert "data-race" in codes(a.static, "error")
+        finding = next(
+            f for f in a.static.findings if f.code == "data-race"
+        )
+        assert "write/write" in finding.message
+        assert finding.subject == "shared"
+
+    def test_dynamic_confirms(self):
+        a = analyze(race.build, name="race", dynamic=True)
+        assert "race-confirmed" in codes(a.dynamic)
+
+    def test_no_deadlock_reported(self):
+        a = analyze(race.build, name="race")
+        assert "deadlock-cycle" not in codes(a.static)
+
+
+class TestOversubscribedPlacement:
+    @pytest.fixture()
+    def findings(self):
+        topology, placement = oversub.build()
+        return check_placement(
+            topology, placement, n_threads=oversub.N_THREADS, n_control=0
+        )
+
+    def test_expected_codes(self, findings):
+        got = {f.code for f in findings}
+        assert got == {
+            "oversubscribed-core",
+            "pu-out-of-range",
+            "unbound-thread",
+        }
+
+    def test_all_errors(self, findings):
+        assert all(f.severity == "error" for f in findings)

@@ -66,3 +66,71 @@ class TestCommands:
         monkeypatch.setenv("REPRO_SCALE", "tiny")
         assert main(["table", "2"]) == 0
         assert "CPU migrations" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_machines_json(self, capsys):
+        import json
+
+        assert main(["machines", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["SMP12E5"]["pus"] == 192
+        assert by_name["SMP12E5"]["hyperthreading"] is True
+
+    def test_table1_json(self, capsys):
+        import json
+
+        assert main(["table", "1", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert isinstance(rows, list) and rows
+        assert all(isinstance(r, dict) for r in rows)
+
+    def test_table2_json_tiny_scale(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["table", "2", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {"variant", "cpu_migrations"} <= set(rows[0])
+
+
+class TestLintCommand:
+    def test_lint_needs_app_or_all(self, capsys):
+        assert main(["lint"]) == 2
+        assert "lint needs an app name or --all" in capsys.readouterr().err
+
+    def test_lint_unknown_app(self, capsys):
+        assert main(["lint", "nosuch"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+
+    def test_lint_matmul_clean_exit_zero(self, capsys):
+        assert main(["lint", "matmul"]) == 0
+        out = capsys.readouterr().out
+        assert "clean (no findings)" in out
+        assert "migrations provably zero: yes" in out
+
+    def test_lint_all_exit_zero(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        for app in ("lk23", "matmul", "video"):
+            assert f"analysis of {app}" in out
+
+    def test_lint_json(self, capsys):
+        import json
+
+        assert main(["lint", "lk23", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "repro-analyze/1"
+        assert doc["program"] == "lk23"
+        assert doc["summary"]["errors"] == 0
+        assert doc["migrations_provably_zero"] is True
+
+    def test_lint_error_findings_exit_three(self, capsys, monkeypatch):
+        # Register a broken program and check the CI exit-code contract.
+        from repro.analyze import apps as apps_mod
+        from tests.badprograms import cyclic
+
+        monkeypatch.setitem(apps_mod.APP_BUILDERS, "cyclic", cyclic.build)
+        assert main(["lint", "cyclic"]) == 3
+        assert "deadlock-cycle" in capsys.readouterr().out

@@ -32,9 +32,10 @@ class TestEdgeList:
         rt = Runtime(smp20e7_4s(), affinity=False)
         build_orwl_video(rt, VideoConfig(resolution="HD", frames=1))
         edges = edge_list(rt)
-        # every handle contributes exactly one edge
-        n_handles = sum(len(op.handles) for op in rt.operations)
+        # every handle (declared or split/fifo-attached) gives one edge
+        n_handles = sum(len(op.all_handles) for op in rt.operations)
         assert len(edges) == n_handles
+        assert any(len(op.ext_handles) > 0 for op in rt.operations)
 
 
 class TestDot:

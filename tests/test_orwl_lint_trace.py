@@ -163,3 +163,98 @@ class TestDeterminism:
             return rt.run().seconds
 
         assert run(1) > 0 and run(2) > 0
+
+
+class TestFindingFormatting:
+    """The findings model contract (Issue is an alias of Finding now)."""
+
+    def test_str_format(self):
+        from repro.orwl.lint import Issue
+
+        issue = Issue("warning", "writerless-location",
+                      "location 'src' has readers but no writer")
+        assert str(issue) == (
+            "[warning] writerless-location: "
+            "location 'src' has readers but no writer"
+        )
+
+    def test_issue_is_finding_alias(self):
+        from repro.analyze.report import Finding
+        from repro.orwl.lint import Issue
+
+        assert Issue is Finding
+
+    def test_level_aliases_severity(self):
+        from repro.orwl.lint import Issue
+
+        issue = Issue("note", "x", "m")
+        assert issue.level == issue.severity == "note"
+
+    def test_stable_finding_order(self):
+        from repro.analyze.report import Finding, sort_findings
+
+        notes_first = [
+            Finding("note", "b-code", "m"),
+            Finding("warning", "z-code", "m", subject="s2"),
+            Finding("warning", "z-code", "m", subject="s1"),
+            Finding("error", "a-code", "m"),
+        ]
+        ordered = sort_findings(notes_first)
+        assert [f.severity for f in ordered] == [
+            "error", "warning", "warning", "note"
+        ]
+        # ties broken by code then subject, deterministically
+        assert [f.subject for f in ordered[1:3]] == ["s1", "s2"]
+        assert sort_findings(list(reversed(notes_first))) == ordered
+
+    def test_validate_returns_canonical_order(self):
+        rt = Runtime(fig2_machine(), affinity=False)
+        a = rt.task("a")
+        a.location("dead_b", 64)
+        a.location("dead_a", 64)
+        issues = rt.validate()
+        from repro.analyze.report import sort_findings
+
+        assert issues == sort_findings(issues)
+
+
+class TestLintSplitPrograms:
+    """Regression: handles attached via orwl_split / orwl_fifo extensions
+    count as attachments — split programs are not orphan-location."""
+
+    def test_split_readers_not_orphan(self):
+        from repro.orwl.split import split_readers
+
+        rt = Runtime(fig2_machine(), affinity=False)
+        writer = rt.task("w")
+        readers = [rt.task(f"r{i}") for i in range(3)]
+        loc = writer.location("frame", 4096)
+        writer.write_handle(loc, iterative=True)
+        split_readers(loc, [t.main_op for t in readers])
+        codes = issue_codes(rt)
+        assert "orphan-location" not in codes
+        assert "unread-location" not in codes
+
+    def test_split_only_location_not_orphan(self):
+        # Even a location reached *exclusively* through ext handles is
+        # attached: this was the spurious-orphan bug.
+        from repro.orwl.split import split_readers
+
+        rt = Runtime(fig2_machine(), affinity=False)
+        owner = rt.task("owner")
+        reader = rt.task("r")
+        loc = owner.location("shared", 1024)
+        split_readers(loc, [reader.main_op])
+        assert "orphan-location" not in issue_codes(rt)
+
+    def test_fifo_channel_slots_not_orphan(self):
+        from repro.orwl.split import fifo_channel
+
+        rt = Runtime(fig2_machine(), affinity=False)
+        prod, cons = rt.task("prod"), rt.task("cons")
+        chan = fifo_channel(prod.main_op, "pipe", 256, depth=3)
+        chan.writer(prod.main_op)
+        chan.reader(cons.main_op)
+        codes = issue_codes(rt)
+        assert "orphan-location" not in codes
+        assert "writerless-location" not in codes
