@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Benchmark the simulator substrate and record the results.
+
+Two modes:
+
+``python scripts/bench_repro.py``
+    Runs the infrastructure benchmarks
+    (``benchmarks/test_infra_simulator_throughput.py``) under
+    pytest-benchmark plus a quick-scale Fig. 4 wall-clock probe, and
+    distils everything into ``BENCH_sim.json`` at the repo root. If a
+    previous ``BENCH_sim.json`` exists, its measurements rotate into the
+    ``previous`` key — so running the script once on the old tree and
+    once on the new one leaves a before/after record in a single file.
+
+``python scripts/bench_repro.py --check``
+    Fast preflight (no pytest): runs the engine event-throughput ring
+    inline and exits 1 if it processes <= 2_000 events — the same floor
+    ``test_engine_event_throughput`` asserts. ``regenerate_all.py``
+    calls this before spending minutes on figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+BENCH_FILE = ROOT / "benchmarks" / "test_infra_simulator_throughput.py"
+OUT_PATH = ROOT / "BENCH_sim.json"
+
+#: Floor asserted by ``test_engine_event_throughput`` (events per run).
+ENGINE_EVENTS_FLOOR = 2_000
+
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def engine_ring_events() -> tuple[int, float]:
+    """The ``test_engine_event_throughput`` workload, inline.
+
+    Returns (events processed, wall-clock seconds).
+    """
+    from repro.sim import Compute, SimMachine, Touch, Wait
+    from repro.topology import smp12e5
+    from repro.util.bitmap import Bitmap
+
+    t0 = time.perf_counter()
+    machine = SimMachine(smp12e5())
+    bufs = [machine.allocate(1 << 16, f"b{i}") for i in range(32)]
+    events = [machine.event(f"e{i}") for i in range(32)]
+
+    def stage(i):
+        nxt = events[(i + 1) % 32]
+        for _ in range(50):
+            yield Compute(1e4)
+            yield Touch(bufs[i], 4096, write=True)
+            nxt.signal()
+            yield Wait(events[i])
+
+    for i in range(32):
+        machine.add_thread(f"s{i}", stage(i), cpuset=Bitmap.single(2 * i))
+    events[0].signal()
+    machine.run()
+    return machine.engine.events_processed, time.perf_counter() - t0
+
+
+def fig4_probe() -> dict:
+    """Wall-clock of one quick-scale Fig. 4 sweep (no cache, one worker)."""
+    from repro.experiments.figures import fig4_lk23
+    from repro.experiments.runner import QUICK
+
+    t0 = time.perf_counter()
+    fig = fig4_lk23("SMP12E5", scale=QUICK, jobs=1, cache=False)
+    dt = time.perf_counter() - t0
+    return {
+        "seconds": dt,
+        "series": len(fig.series),
+        "points": sum(len(s.y) for s in fig.series),
+    }
+
+
+def pytest_benchmarks() -> dict:
+    """Run the infra benchmarks under pytest-benchmark, distil the stats."""
+    fd, json_path = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    try:
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", str(BENCH_FILE),
+                "-q", f"--benchmark-json={json_path}",
+            ],
+            cwd=ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            print(proc.stdout, file=sys.stderr)
+            print(proc.stderr, file=sys.stderr)
+            raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+        with open(json_path) as fh:
+            data = json.load(fh)
+    finally:
+        try:
+            os.unlink(json_path)
+        except OSError:
+            pass
+
+    out = {}
+    for bench in data.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        out[bench["name"]] = {
+            "mean_s": stats.get("mean"),
+            "min_s": stats.get("min"),
+            "rounds": stats.get("rounds"),
+        }
+    return out
+
+
+def run_check() -> int:
+    events, dt = engine_ring_events()
+    rate = events / dt if dt > 0 else float("inf")
+    ok = events > ENGINE_EVENTS_FLOOR
+    status = "ok" if ok else "FAIL"
+    print(
+        f"bench_repro --check: {events} engine events in {dt:.3f}s "
+        f"({rate:,.0f} ev/s) — floor {ENGINE_EVENTS_FLOOR} [{status}]"
+    )
+    return 0 if ok else 1
+
+
+def run_full() -> int:
+    previous = None
+    if OUT_PATH.exists():
+        try:
+            with open(OUT_PATH) as fh:
+                previous = json.load(fh)
+            previous.pop("previous", None)  # keep exactly one generation back
+        except (OSError, ValueError):
+            previous = None
+
+    print("running pytest-benchmark suite ...", flush=True)
+    benches = pytest_benchmarks()
+    print("running engine ring probe ...", flush=True)
+    events, dt = min(engine_ring_events() for _ in range(3))
+    print("running quick-scale Fig. 4 probe ...", flush=True)
+    probe = fig4_probe()
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "engine_ring": {
+            "events": events,
+            "seconds": dt,
+            "events_per_second": events / dt if dt > 0 else None,
+        },
+        "pytest_benchmarks": benches,
+        "fig4_quick_probe": probe,
+    }
+    if previous is not None:
+        record["previous"] = previous
+
+    with open(OUT_PATH, "w") as fh:
+        json.dump(record, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {OUT_PATH}")
+    print(json.dumps({k: v for k, v in record.items() if k != "previous"},
+                     indent=1))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fast engine-throughput floor check (no pytest, no JSON)",
+    )
+    args = parser.parse_args(argv)
+    return run_check() if args.check else run_full()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,15 +3,23 @@
 
 Usage:
     REPRO_SCALE=paper python scripts/regenerate_all.py [outfile]
+    python scripts/regenerate_all.py --jobs 4            # 4 worker processes
+    python scripts/regenerate_all.py --no-cache          # force re-simulation
 
 Writes the rendered report to *outfile* (default: stdout) and a raw JSON
 dump next to it when an outfile is given.
+
+Regeneration is incremental: experiment cells already present in the
+on-disk result cache (see ``repro.parallel.cache``) are served without
+re-simulating, so a second run at the same scale finishes in seconds.
+``--no-cache`` (or ``REPRO_CACHE=off``) bypasses the cache; ``--jobs``
+(or ``REPRO_JOBS``) fans cache misses out over worker processes.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
-import sys
 import time
 
 from repro.experiments import (
@@ -31,14 +39,34 @@ from repro.experiments.figures import comm_matrix_ascii
 from repro.experiments.report import format_counter_rows, format_table
 
 
-def main() -> None:
-    out_path = sys.argv[1] if len(sys.argv) > 1 else None
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("outfile", nargs="?", default=None,
+                        help="report destination (default: stdout)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or 1; "
+                             "0 = one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = parse_args(argv)
+    out_path = args.outfile
+    jobs = args.jobs
+    cache = False if args.no_cache else None
 
     # Preflight: every app must lint clean and src must byte-compile
-    # before we spend minutes regenerating figures from a broken tree.
+    # before we spend minutes regenerating figures from a broken tree,
+    # and the engine must clear its event-throughput floor.
+    import bench_repro
     import lint_repro
 
     code = lint_repro.main([])
+    if code != 0:
+        raise SystemExit(code)
+    code = bench_repro.main(["--check"])
     if code != 0:
         raise SystemExit(code)
 
@@ -68,29 +96,29 @@ def main() -> None:
         text + f"\nreserved for control threads: PUs {info['reserved_pus']}")
 
     for machine in ("SMP12E5", "SMP20E7"):
-        fig = fig4_lk23(machine)
+        fig = fig4_lk23(machine, jobs=jobs, cache=cache)
         raw[f"fig4_{machine}"] = [(s.label, s.x, s.y) for s in fig.series]
         add(f"Fig. 4 ({machine})", format_figure(fig))
 
-    rows2 = table2_lk23_counters()
+    rows2 = table2_lk23_counters(jobs=jobs, cache=cache)
     raw["table2"] = [vars(r) for r in rows2]
     add("Table II", format_counter_rows("LK23 counters, SMP12E5/64", rows2))
 
     for machine in ("SMP12E5", "SMP20E7"):
-        fig = fig5_matmul(machine)
+        fig = fig5_matmul(machine, jobs=jobs, cache=cache)
         raw[f"fig5_{machine}"] = [(s.label, s.x, s.y) for s in fig.series]
         add(f"Fig. 5 ({machine})", format_figure(fig))
 
-    rows3 = table3_matmul_counters()
+    rows3 = table3_matmul_counters(jobs=jobs, cache=cache)
     raw["table3"] = [vars(r) for r in rows3]
     add("Table III", format_counter_rows("Matmul counters, SMP12E5/64", rows3))
 
     for machine in ("SMP12E5-4S", "SMP20E7-4S"):
-        fig = fig6_video(machine)
+        fig = fig6_video(machine, jobs=jobs, cache=cache)
         raw[f"fig6_{machine}"] = [(s.label, s.x, s.y) for s in fig.series]
         add(f"Fig. 6 ({machine})", format_figure(fig))
 
-    rows4 = table4_video_counters()
+    rows4 = table4_video_counters(jobs=jobs, cache=cache)
     raw["table4"] = [vars(r) for r in rows4]
     add("Table IV", format_counter_rows("Video counters, SMP12E5-4S/HD", rows4))
 

@@ -5,13 +5,16 @@ Installed as ``repro-paper`` (see pyproject.toml)::
     repro-paper machines                     # list machine presets
     repro-paper topology SMP12E5             # lstopo-style dump
     repro-paper fig 4 --machine SMP20E7      # regenerate a figure
-    repro-paper table 2                      # regenerate a table
+    repro-paper fig 5 --jobs 4               # fan cells out over 4 processes
+    repro-paper table 2 --no-cache           # bypass the on-disk result cache
     repro-paper comm-matrix                  # Fig. 1 ASCII rendering
     repro-paper allocation                   # Fig. 2 placement
     repro-paper lint lk23 --dynamic          # static + dynamic verifier
     repro-paper lint --all --json            # machine-readable findings
 
-Scale selection follows ``REPRO_SCALE`` (quick | paper).
+Scale selection follows ``REPRO_SCALE`` (quick | paper); worker count
+defaults to ``REPRO_JOBS`` and cache behaviour to ``REPRO_CACHE`` /
+``REPRO_CACHE_DIR`` (see docs/API.md).
 
 Exit codes: 0 success, 2 usage/runtime error, 3 when ``lint`` reports
 at least one error-level finding.
@@ -50,11 +53,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("number", type=int, choices=(1, 2, 4, 5, 6))
     p_fig.add_argument("--machine", default=None,
                        help="machine preset (figures 4-6)")
+    p_fig.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or 1; "
+                            "0 = one per CPU)")
+    p_fig.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
 
     p_tab = sub.add_parser("table", help="regenerate a table (1, 2, 3, 4)")
     p_tab.add_argument("number", type=int, choices=(1, 2, 3, 4))
     p_tab.add_argument("--json", action="store_true",
                        help="emit table rows as JSON")
+    p_tab.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or 1; "
+                            "0 = one per CPU)")
+    p_tab.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
 
     sub.add_parser("comm-matrix", help="Fig. 1 communication matrix (ASCII)")
     sub.add_parser("allocation", help="Fig. 2 task allocation")
@@ -111,7 +124,12 @@ def _cmd_topology(machine: str, depth: int | None) -> str:
     return render_ascii(machine_by_name(machine), max_depth=depth)
 
 
-def _cmd_fig(number: int, machine: str | None) -> str:
+def _cmd_fig(
+    number: int,
+    machine: str | None,
+    jobs: int | None = None,
+    no_cache: bool = False,
+) -> str:
     from repro.experiments import (
         fig1_comm_matrix,
         fig2_allocation,
@@ -122,6 +140,7 @@ def _cmd_fig(number: int, machine: str | None) -> str:
     )
     from repro.experiments.figures import comm_matrix_ascii
 
+    cache = False if no_cache else None
     if number == 1:
         comm, fig = fig1_comm_matrix()
         return f"{fig.title}\n" + comm_matrix_ascii(comm)
@@ -129,13 +148,21 @@ def _cmd_fig(number: int, machine: str | None) -> str:
         text, info = fig2_allocation()
         return text + f"\nreserved for control: PUs {info['reserved_pus']}"
     if number == 4:
-        return format_figure(fig4_lk23(machine or "SMP12E5"))
+        return format_figure(fig4_lk23(machine or "SMP12E5",
+                                       jobs=jobs, cache=cache))
     if number == 5:
-        return format_figure(fig5_matmul(machine or "SMP12E5"))
-    return format_figure(fig6_video(machine or "SMP12E5-4S"))
+        return format_figure(fig5_matmul(machine or "SMP12E5",
+                                         jobs=jobs, cache=cache))
+    return format_figure(fig6_video(machine or "SMP12E5-4S",
+                                    jobs=jobs, cache=cache))
 
 
-def _cmd_table(number: int, as_json: bool = False) -> str:
+def _cmd_table(
+    number: int,
+    as_json: bool = False,
+    jobs: int | None = None,
+    no_cache: bool = False,
+) -> str:
     from repro.experiments import (
         format_table,
         table1_machines,
@@ -145,6 +172,7 @@ def _cmd_table(number: int, as_json: bool = False) -> str:
     )
     from repro.experiments.report import format_counter_rows
 
+    cache = False if no_cache else None
     if as_json:
         import dataclasses
 
@@ -154,7 +182,9 @@ def _cmd_table(number: int, as_json: bool = False) -> str:
             return json_text(table1_machines())
         fn = {2: table2_lk23_counters, 3: table3_matmul_counters,
               4: table4_video_counters}[number]
-        return json_text([dataclasses.asdict(r) for r in fn()])
+        return json_text(
+            [dataclasses.asdict(r) for r in fn(jobs=jobs, cache=cache)]
+        )
 
     if number == 1:
         rows = table1_machines()
@@ -164,16 +194,16 @@ def _cmd_table(number: int, as_json: bool = False) -> str:
     if number == 2:
         return format_counter_rows(
             "Table II: LK23 counters (SMP12E5, 64 cores)",
-            table2_lk23_counters(),
+            table2_lk23_counters(jobs=jobs, cache=cache),
         )
     if number == 3:
         return format_counter_rows(
             "Table III: matmul counters (SMP12E5, 64 cores)",
-            table3_matmul_counters(),
+            table3_matmul_counters(jobs=jobs, cache=cache),
         )
     return format_counter_rows(
         "Table IV: video counters (SMP12E5-4S, HD)",
-        table4_video_counters(),
+        table4_video_counters(jobs=jobs, cache=cache),
     )
 
 
@@ -221,9 +251,9 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "topology":
             out = _cmd_topology(args.machine, args.depth)
         elif args.command == "fig":
-            out = _cmd_fig(args.number, args.machine)
+            out = _cmd_fig(args.number, args.machine, args.jobs, args.no_cache)
         elif args.command == "table":
-            out = _cmd_table(args.number, args.json)
+            out = _cmd_table(args.number, args.json, args.jobs, args.no_cache)
         elif args.command == "comm-matrix":
             out = _cmd_fig(1, None)
         elif args.command == "allocation":

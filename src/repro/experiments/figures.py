@@ -1,27 +1,26 @@
-"""Regeneration of every figure of the paper's evaluation section."""
+"""Regeneration of every figure of the paper's evaluation section.
+
+The sweep figures (4, 5, 6) decompose into independent experiment-cell
+:class:`~repro.parallel.Job` specs and run through
+:func:`repro.parallel.run_jobs` — parallel across processes when
+``REPRO_JOBS``/``jobs`` says so, served from the content-addressed disk
+cache when warm, and reassembled in deterministic order either way.
+Figures 1 and 2 are structural (no simulation) and stay inline.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.lk23 import Lk23Config, run_openmp_lk23, run_orwl_lk23
-from repro.apps.matmul import MatmulConfig, run_orwl_matmul
-from repro.apps.video import (
-    VideoConfig,
-    run_openmp_video,
-    run_orwl_video,
-    run_sequential_video,
-)
+from repro.apps.video import VideoConfig
 from repro.apps.video.pipeline import build_orwl_video
 from repro.errors import ReproError
 from repro.experiments.runner import FigureResult, Scale, Series, current_scale
-from repro.openmp.mkl import threaded_dgemm
 from repro.orwl.runtime import Runtime
+from repro.parallel import make_job, run_jobs
 from repro.topology import (
     fig2_machine,
-    machine_by_name,
     render_mapping,
-    smp12e5_4s,
     smp20e7_4s,
 )
 from repro.treematch import CommunicationMatrix, treematch_map
@@ -42,6 +41,28 @@ FIG5_CORES = {
     "SMP12E5": [1, 2, 4, 8, 16, 32, 64, 96],
     "SMP20E7": [1, 2, 4, 8, 16, 32, 64, 96, 160],
 }
+
+#: (display label, canonical variant slug) per figure, in plot order.
+FIG4_VARIANTS = [
+    ("ORWL", "orwl"),
+    ("ORWL (affinity)", "orwl-affinity"),
+    ("OpenMP", "openmp"),
+    ("OpenMP (affinity)", "openmp-affinity"),
+]
+FIG5_VARIANTS = [
+    ("ORWL", "orwl"),
+    ("ORWL (Affinity)", "orwl-affinity"),
+    ("MKL", "mkl"),
+    ("MKL (scatter)", "mkl-scatter"),
+    ("MKL (compact)", "mkl-compact"),
+]
+FIG6_VARIANTS = [
+    ("Sequential", "sequential"),
+    ("OpenMP", "openmp"),
+    ("OpenMP (Affinity)", "openmp-affinity"),
+    ("ORWL", "orwl"),
+    ("ORWL (Affinity)", "orwl-affinity"),
+]
 
 
 # -- Fig. 1: communication matrix of the video-tracking application ------------------
@@ -111,6 +132,8 @@ def fig4_lk23(
     scale: Scale | None = None,
     cores: list[int] | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> FigureResult:
     """Processing times of Livermore Kernel 23 (Fig. 4a/4b)."""
     scale = scale or current_scale()
@@ -119,18 +142,17 @@ def fig4_lk23(
             cores = FIG4_CORES[machine_name.upper()]
         except KeyError:
             raise ReproError(f"no Fig. 4 core list for {machine_name!r}") from None
-    variants = {
-        "ORWL": lambda topo, cfg: run_orwl_lk23(topo, cfg, affinity=False, seed=seed),
-        "ORWL (affinity)": lambda topo, cfg: run_orwl_lk23(
-            topo, cfg, affinity=True, seed=seed
-        ),
-        "OpenMP": lambda topo, cfg: run_openmp_lk23(
-            topo, cfg, binding=None, seed=seed
-        ),
-        "OpenMP (affinity)": lambda topo, cfg: run_openmp_lk23(
-            topo, cfg, binding="close", seed=seed
-        ),
-    }
+    specs = [
+        make_job(
+            "lk23",
+            scale,
+            {"machine": machine_name.upper(), "variant": slug, "n_threads": nc},
+            seed,
+        )
+        for _, slug in FIG4_VARIANTS
+        for nc in cores
+    ]
+    payloads = run_jobs(specs, n_jobs=jobs, cache=cache)
     fig = FigureResult(
         fig_id="fig4",
         title=f"LK23 processing times on {machine_name}",
@@ -138,14 +160,9 @@ def fig4_lk23(
         ylabel="Time (s)",
         meta={"machine": machine_name, "scale": scale.name},
     )
-    for label, run in variants.items():
-        ys = []
-        for nc in cores:
-            cfg = Lk23Config(
-                n=scale.lk23_n, iterations=scale.lk23_iterations, n_threads=nc
-            )
-            topo = machine_by_name(machine_name)
-            ys.append(run(topo, cfg).seconds)
+    it = iter(payloads)
+    for label, _ in FIG4_VARIANTS:
+        ys = [next(it)["seconds"] for _ in cores]
         fig.series.append(Series(label, list(cores), ys))
     return fig
 
@@ -159,6 +176,8 @@ def fig5_matmul(
     scale: Scale | None = None,
     cores: list[int] | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> FigureResult:
     """FLOP/s of the matrix-multiplication implementations (Fig. 5)."""
     scale = scale or current_scale()
@@ -168,30 +187,17 @@ def fig5_matmul(
         except KeyError:
             raise ReproError(f"no Fig. 5 core list for {machine_name!r}") from None
     n = scale.matmul_n
-
-    def orwl(affinity):
-        def run(nc):
-            topo = machine_by_name(machine_name)
-            return run_orwl_matmul(
-                topo, MatmulConfig(n=n, n_tasks=nc), affinity=affinity, seed=seed
-            ).gflops
-
-        return run
-
-    def mkl(binding):
-        def run(nc):
-            topo = machine_by_name(machine_name)
-            return threaded_dgemm(topo, n, nc, binding=binding, seed=seed).gflops
-
-        return run
-
-    variants = {
-        "ORWL": orwl(False),
-        "ORWL (Affinity)": orwl(True),
-        "MKL": mkl(None),
-        "MKL (scatter)": mkl("scatter"),
-        "MKL (compact)": mkl("compact"),
-    }
+    specs = [
+        make_job(
+            "matmul",
+            scale,
+            {"machine": machine_name.upper(), "variant": slug, "n_tasks": nc},
+            seed,
+        )
+        for _, slug in FIG5_VARIANTS
+        for nc in cores
+    ]
+    payloads = run_jobs(specs, n_jobs=jobs, cache=cache)
     fig = FigureResult(
         fig_id="fig5",
         title=f"Matmul GFLOP/s on {machine_name}",
@@ -199,8 +205,10 @@ def fig5_matmul(
         ylabel="GFLOPS",
         meta={"machine": machine_name, "scale": scale.name, "n": n},
     )
-    for label, run in variants.items():
-        fig.series.append(Series(label, list(cores), [run(nc) for nc in cores]))
+    it = iter(payloads)
+    for label, _ in FIG5_VARIANTS:
+        ys = [next(it)["gflops"] for _ in cores]
+        fig.series.append(Series(label, list(cores), ys))
     return fig
 
 
@@ -213,6 +221,8 @@ def fig6_video(
     scale: Scale | None = None,
     resolutions: list[str] | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> FigureResult:
     """Frames per second of the video-tracking variants (Fig. 6)."""
     scale = scale or current_scale()
@@ -222,46 +232,17 @@ def fig6_video(
             "Fig. 6 uses the 4-socket machine slices "
             "(SMP12E5-4S / SMP20E7-4S)"
         )
-    topo_fn = smp12e5_4s if "12E5" in machine_name.upper() else smp20e7_4s
-
-    def frames_for(res: str) -> int:
-        return scale.video_frames_4k if res == "4K" else scale.video_frames
-
-    def cfg_for(res: str) -> VideoConfig:
-        return VideoConfig(resolution=res, frames=frames_for(res))
-
-    def fps(seconds: float, res: str) -> float:
-        return frames_for(res) / seconds if seconds > 0 else 0.0
-
-    variants = {
-        "Sequential": lambda res: fps(
-            run_sequential_video(topo_fn(), cfg_for(res), seed=seed).seconds, res
-        ),
-        "OpenMP": lambda res: fps(
-            run_openmp_video(
-                topo_fn(), cfg_for(res), 30, binding=None, seed=seed
-            ).seconds,
-            res,
-        ),
-        "OpenMP (Affinity)": lambda res: fps(
-            run_openmp_video(
-                topo_fn(), cfg_for(res), 30, binding="close", seed=seed
-            ).seconds,
-            res,
-        ),
-        "ORWL": lambda res: fps(
-            run_orwl_video(topo_fn(), cfg_for(res), affinity=False, seed=seed)[
-                0
-            ].seconds,
-            res,
-        ),
-        "ORWL (Affinity)": lambda res: fps(
-            run_orwl_video(topo_fn(), cfg_for(res), affinity=True, seed=seed)[
-                0
-            ].seconds,
-            res,
-        ),
-    }
+    specs = [
+        make_job(
+            "video",
+            scale,
+            {"machine": machine_name.upper(), "variant": slug, "resolution": res},
+            seed,
+        )
+        for _, slug in FIG6_VARIANTS
+        for res in resolutions
+    ]
+    payloads = run_jobs(specs, n_jobs=jobs, cache=cache)
     fig = FigureResult(
         fig_id="fig6",
         title=f"Video tracking FPS on {machine_name}",
@@ -269,10 +250,14 @@ def fig6_video(
         ylabel="Frames per second",
         meta={"machine": machine_name, "scale": scale.name, "n_tasks": 30},
     )
-    for label, run in variants.items():
-        fig.series.append(
-            Series(label, list(resolutions), [run(r) for r in resolutions])
-        )
+    it = iter(payloads)
+    for label, _ in FIG6_VARIANTS:
+        ys = []
+        for _ in resolutions:
+            payload = next(it)
+            seconds = payload["seconds"]
+            ys.append(payload["frames"] / seconds if seconds > 0 else 0.0)
+        fig.series.append(Series(label, list(resolutions), ys))
     return fig
 
 

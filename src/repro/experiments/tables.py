@@ -1,15 +1,17 @@
-"""Regeneration of Tables I–IV."""
+"""Regeneration of Tables I–IV.
+
+Tables II–IV are assembled from the same experiment cells as the
+figures (:mod:`repro.parallel.jobs`), so a table row at a configuration
+already swept by a figure is served from the shared result cache.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.apps.lk23 import Lk23Config, run_openmp_lk23, run_orwl_lk23
-from repro.apps.matmul import MatmulConfig, run_orwl_matmul
-from repro.apps.video import VideoConfig, run_openmp_video, run_orwl_video
 from repro.experiments.runner import Scale, current_scale
-from repro.openmp.mkl import threaded_dgemm
-from repro.topology import machine_by_name, smp12e5_4s
+from repro.parallel import make_job, run_jobs
+from repro.topology import machine_by_name
 from repro.topology.objects import ObjType
 from repro.util.units import format_size
 
@@ -42,6 +44,19 @@ class CounterRow:
             context_switches=counters.context_switches,
             cpu_migrations=counters.cpu_migrations,
             seconds=seconds,
+        )
+
+    @classmethod
+    def from_payload(cls, variant, payload) -> "CounterRow":
+        """Row from an experiment-cell payload (see ``_counter_payload``)."""
+        c = payload["counters"]
+        return cls(
+            variant=variant,
+            l3_misses=c["l3_misses"],
+            stalled_cycles=c["stalled_cycles"],
+            context_switches=c["context_switches"],
+            cpu_migrations=c["cpu_migrations"],
+            seconds=payload["seconds"],
         )
 
 
@@ -82,30 +97,50 @@ def table1_machines() -> list[dict]:
 # -- Table II: LK23 counters on SMP12E5, 64 cores --------------------------------------
 
 
+TABLE2_VARIANTS = [
+    ("ORWL", "orwl"),
+    ("ORWL (Affinity)", "orwl-affinity"),
+    ("OpenMP", "openmp"),
+    ("OpenMP (Affinity)", "openmp-affinity"),
+]
+
+
 def table2_lk23_counters(
     *,
     machine_name: str = "SMP12E5",
     cores: int = 64,
     scale: Scale | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> list[CounterRow]:
     scale = scale or current_scale()
-    cfg = Lk23Config(
-        n=scale.lk23_n, iterations=scale.lk23_iterations, n_threads=cores
-    )
-    rows = []
-    r = run_orwl_lk23(machine_by_name(machine_name), cfg, affinity=False, seed=seed)
-    rows.append(CounterRow.from_counters("ORWL", r.counters, r.seconds))
-    r = run_orwl_lk23(machine_by_name(machine_name), cfg, affinity=True, seed=seed)
-    rows.append(CounterRow.from_counters("ORWL (Affinity)", r.counters, r.seconds))
-    o = run_openmp_lk23(machine_by_name(machine_name), cfg, binding=None, seed=seed)
-    rows.append(CounterRow.from_counters("OpenMP", o.counters, o.seconds))
-    o = run_openmp_lk23(machine_by_name(machine_name), cfg, binding="close", seed=seed)
-    rows.append(CounterRow.from_counters("OpenMP (Affinity)", o.counters, o.seconds))
-    return rows
+    specs = [
+        make_job(
+            "lk23",
+            scale,
+            {"machine": machine_name.upper(), "variant": slug, "n_threads": cores},
+            seed,
+        )
+        for _, slug in TABLE2_VARIANTS
+    ]
+    payloads = run_jobs(specs, n_jobs=jobs, cache=cache)
+    return [
+        CounterRow.from_payload(label, payload)
+        for (label, _), payload in zip(TABLE2_VARIANTS, payloads)
+    ]
 
 
 # -- Table III: matmul counters on SMP12E5, 64 cores --------------------------------------
+
+
+TABLE3_VARIANTS = [
+    ("ORWL", "orwl"),
+    ("ORWL (Affinity)", "orwl-affinity"),
+    ("MKL", "mkl"),
+    ("MKL (Affinity scatter)", "mkl-scatter"),
+    ("MKL (Affinity compact)", "mkl-compact"),
+]
 
 
 def table3_matmul_counters(
@@ -114,44 +149,56 @@ def table3_matmul_counters(
     cores: int = 64,
     scale: Scale | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> list[CounterRow]:
     scale = scale or current_scale()
-    cfg = MatmulConfig(n=scale.matmul_n, n_tasks=cores)
-    rows = []
-    r = run_orwl_matmul(machine_by_name(machine_name), cfg, affinity=False, seed=seed)
-    rows.append(CounterRow.from_counters("ORWL", r.counters, r.seconds))
-    r = run_orwl_matmul(machine_by_name(machine_name), cfg, affinity=True, seed=seed)
-    rows.append(CounterRow.from_counters("ORWL (Affinity)", r.counters, r.seconds))
-    for label, binding in (
-        ("MKL", None),
-        ("MKL (Affinity scatter)", "scatter"),
-        ("MKL (Affinity compact)", "compact"),
-    ):
-        o = threaded_dgemm(
-            machine_by_name(machine_name), scale.matmul_n, cores,
-            binding=binding, seed=seed,
+    specs = [
+        make_job(
+            "matmul",
+            scale,
+            {"machine": machine_name.upper(), "variant": slug, "n_tasks": cores},
+            seed,
         )
-        rows.append(CounterRow.from_counters(label, o.counters, o.seconds))
-    return rows
+        for _, slug in TABLE3_VARIANTS
+    ]
+    payloads = run_jobs(specs, n_jobs=jobs, cache=cache)
+    return [
+        CounterRow.from_payload(label, payload)
+        for (label, _), payload in zip(TABLE3_VARIANTS, payloads)
+    ]
 
 
 # -- Table IV: video counters on SMP12E5 (4 sockets), HD --------------------------------------
+
+
+TABLE4_VARIANTS = [
+    ("ORWL", "orwl"),
+    ("ORWL (Affinity)", "orwl-affinity"),
+    ("OpenMP", "openmp"),
+    ("OpenMP (Affinity)", "openmp-affinity"),
+]
 
 
 def table4_video_counters(
     *,
     scale: Scale | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> list[CounterRow]:
     scale = scale or current_scale()
-    cfg = VideoConfig(resolution="HD", frames=scale.video_frames)
-    rows = []
-    r, _ = run_orwl_video(smp12e5_4s(), cfg, affinity=False, seed=seed)
-    rows.append(CounterRow.from_counters("ORWL", r.counters, r.seconds))
-    r, _ = run_orwl_video(smp12e5_4s(), cfg, affinity=True, seed=seed)
-    rows.append(CounterRow.from_counters("ORWL (Affinity)", r.counters, r.seconds))
-    o = run_openmp_video(smp12e5_4s(), cfg, 30, binding=None, seed=seed)
-    rows.append(CounterRow.from_counters("OpenMP", o.counters, o.seconds))
-    o = run_openmp_video(smp12e5_4s(), cfg, 30, binding="close", seed=seed)
-    rows.append(CounterRow.from_counters("OpenMP (Affinity)", o.counters, o.seconds))
-    return rows
+    specs = [
+        make_job(
+            "video",
+            scale,
+            {"machine": "SMP12E5-4S", "variant": slug, "resolution": "HD"},
+            seed,
+        )
+        for _, slug in TABLE4_VARIANTS
+    ]
+    payloads = run_jobs(specs, n_jobs=jobs, cache=cache)
+    return [
+        CounterRow.from_payload(label, payload)
+        for (label, _), payload in zip(TABLE4_VARIANTS, payloads)
+    ]

@@ -1,0 +1,39 @@
+"""Parallel, incremental experiment execution.
+
+The substrate the figure/table regenerations ride on:
+
+* :mod:`repro.parallel.jobs` — pure, picklable :class:`Job` specs and
+  the registry of experiment cells (one per application);
+* :mod:`repro.parallel.executor` — :func:`run_jobs`, the process-pool
+  fan-out with deterministic, order-preserving reassembly
+  (``REPRO_JOBS`` / ``--jobs``);
+* :mod:`repro.parallel.cache` — the content-addressed on-disk result
+  cache keyed by (cell, scale, params, seed) and partitioned by a
+  source-tree digest (``REPRO_CACHE_DIR``, ``REPRO_CACHE=off``).
+
+``run_jobs`` with one worker and no cache is behaviourally identical to
+the historical sequential loops — same seeds, same floats, same order.
+"""
+
+from repro.parallel.cache import (
+    ResultCache,
+    cache_enabled,
+    default_cache_dir,
+    source_digest,
+)
+from repro.parallel.executor import JOBS_ENV, default_jobs, run_jobs
+from repro.parallel.jobs import CELLS, Job, make_job, run_cell
+
+__all__ = [
+    "Job",
+    "CELLS",
+    "make_job",
+    "run_cell",
+    "run_jobs",
+    "default_jobs",
+    "JOBS_ENV",
+    "ResultCache",
+    "source_digest",
+    "default_cache_dir",
+    "cache_enabled",
+]

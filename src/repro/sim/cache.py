@@ -24,7 +24,7 @@ from repro.topology.tree import Topology
 __all__ = ["L3State", "CacheSystem", "TouchResult"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TouchResult:
     """Priced access: hit/miss cycle split plus the buffer's home node.
 
@@ -44,6 +44,8 @@ class TouchResult:
 
 class L3State:
     """Residency bookkeeping for one last-level cache."""
+
+    __slots__ = ("capacity", "used", "_resident")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -83,7 +85,20 @@ class L3State:
 
 
 class CacheSystem:
-    """All L3s of the machine plus the touch-pricing logic."""
+    """All L3s of the machine plus the touch-pricing logic.
+
+    :meth:`touch` is called for every simulated memory access; the
+    constructor therefore flattens everything the pricing needs —
+    per-(accessor, home) miss-cost rows, the PU→NUMA and PU→L3 maps, and
+    the scalar model constants — into plain attributes so the hot path
+    performs only dict/list lookups and float arithmetic.
+    """
+
+    __slots__ = (
+        "topology", "model", "memory", "_l3s", "_pu_l3", "_pu_numa",
+        "_miss_cost", "_line", "_l3_hit_cycles", "_stall_fraction",
+        "_write_invalidate",
+    )
 
     def __init__(
         self, topology: Topology, model: CostModel, memory: MemorySystem
@@ -99,6 +114,13 @@ class CacheSystem:
         for idx, obj in enumerate(l3_objs):
             for pu in obj.leaves():
                 self._pu_l3[pu.os_index] = idx
+        # Hot-path caches: shared maps/tables plus scalar model constants.
+        self._pu_numa = memory.pu_numa_map
+        self._miss_cost = memory.miss_cost_table
+        self._line = float(model.cache_line)
+        self._l3_hit_cycles = model.l3_hit_cycles
+        self._stall_fraction = model.stall_fraction
+        self._write_invalidate = model.write_invalidate
 
     def l3_index_of_pu(self, pu: int) -> int:
         try:
@@ -133,11 +155,16 @@ class CacheSystem:
             home = self.memory.first_touch(buf, pu)
             return TouchResult(0.0, 0.0, 0.0, home)
         nbytes = min(float(nbytes), float(buf.size))
-        line = self.model.cache_line
-        l3_idx = self.l3_index_of_pu(pu)
+        line = self._line
+        try:
+            l3_idx = self._pu_l3[pu]
+            accessor_numa = self._pu_numa[pu]
+        except KeyError:
+            raise SimulationError(f"PU {pu} is not under any L3") from None
         l3 = self._l3s[l3_idx]
-        accessor_numa = self.memory.numa_of_pu(pu)
-        home = self.memory.first_touch(buf, pu)
+        home = buf.home_numa
+        if home is None:
+            home = self.memory.first_touch(buf, pu)
 
         # Fractional residency: with R of the buffer's S bytes resident,
         # a touch of n bytes hits on n·R/S of them. This avoids aliasing
@@ -151,18 +178,18 @@ class CacheSystem:
         lines_hit = hit_bytes / line
         lines_miss = miss_bytes / line
 
-        miss_per_line = self.memory.miss_cycles_per_line(accessor_numa, home)
-        hit_cycles = lines_hit * self.model.l3_hit_cycles
+        miss_per_line = self._miss_cost[accessor_numa][home]
+        hit_cycles = lines_hit * self._l3_hit_cycles
         miss_cycles = lines_miss * miss_per_line
         cycles = hit_cycles + miss_cycles
         result = TouchResult(hit_cycles, miss_cycles, miss_bytes, home)
 
         counters.l3_hits += lines_hit
         counters.l3_misses += lines_miss
-        counters.stalled_cycles += miss_cycles * self.model.stall_fraction
+        counters.stalled_cycles += miss_cycles * self._stall_fraction
         counters.memory_cycles += cycles
         counters.bytes_touched += nbytes
-        if self.memory.is_remote(accessor_numa, home):
+        if accessor_numa != home:
             counters.remote_bytes += miss_bytes
 
         if nbytes > l3.capacity:
@@ -173,7 +200,7 @@ class CacheSystem:
         else:
             l3.install(buf.buf_id, min(resident + miss_bytes, float(buf.size)))
             l3.touch_lru(buf.buf_id)
-        if write and self.model.write_invalidate:
+        if write and self._write_invalidate:
             for idx, other in enumerate(self._l3s):
                 if idx != l3_idx:
                     other.invalidate(buf.buf_id)

@@ -12,9 +12,13 @@ from dataclasses import dataclass
 __all__ = ["Counters"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Counters:
-    """Accumulated event counts for a run (or a single thread)."""
+    """Accumulated event counts for a run (or a single thread).
+
+    Slotted: counter bumps sit inside the simulator's touch/compute hot
+    path, and every simulated thread carries one of these.
+    """
 
     l3_misses: float = 0.0
     l3_hits: float = 0.0

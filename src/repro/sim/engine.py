@@ -4,6 +4,12 @@ Deliberately minimal — all machine semantics (PUs, scheduling, caches)
 live above it in :mod:`repro.sim.machine`. Events at equal times fire in
 scheduling order (a monotonically increasing sequence number breaks ties),
 which keeps every simulation deterministic.
+
+This is the innermost loop of every experiment cell: a paper-scale
+regeneration drains hundreds of millions of events through :meth:`run`,
+so the class is slotted, and the drain loop binds its hot names locally
+and skips the watcher dispatch entirely while no watcher is registered
+(the common case — watchers exist only for :mod:`repro.analyze.dynamic`).
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ __all__ = ["Engine"]
 class Engine:
     """A deterministic event queue over a virtual clock (in cycles)."""
 
+    __slots__ = ("now", "_heap", "_seq", "_events_processed", "watchers")
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
@@ -26,7 +34,8 @@ class Engine:
         self._events_processed = 0
         #: Observers called as ``watcher(now)`` after every processed
         #: event — the dynamic-analysis tap (see repro.analyze.dynamic).
-        #: Keep them cheap: they run inside the hot loop.
+        #: Keep them cheap: they run inside the hot loop. Register them
+        #: before :meth:`run`; the drain loop snapshots the list object.
         self.watchers: list[Callable[[float], None]] = []
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
@@ -38,7 +47,12 @@ class Engine:
 
     def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
         """Run *fn* at absolute time *when* (>= now)."""
-        self.schedule(when - self.now, fn)
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past (when={when}, now={self.now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, fn))
 
     @property
     def pending(self) -> int:
@@ -65,16 +79,27 @@ class Engine:
 
     def run(self, *, max_cycles: float | None = None, max_events: int | None = None) -> None:
         """Drain the queue, optionally stopping at a time/event budget."""
-        start_events = self._events_processed
-        while self._heap:
-            if max_cycles is not None and self._heap[0][0] > max_cycles:
+        heap = self._heap
+        pop = heapq.heappop
+        watchers = self.watchers
+        budget = None
+        if max_events is not None:
+            budget = self._events_processed + max_events
+        while heap:
+            if max_cycles is not None and heap[0][0] > max_cycles:
                 break
-            if (
-                max_events is not None
-                and self._events_processed - start_events >= max_events
-            ):
+            if budget is not None and self._events_processed >= budget:
                 raise SimulationError(
                     f"event budget {max_events} exhausted at t={self.now:.3g} "
                     "— runaway simulation?"
                 )
-            self.step()
+            when, _, fn = pop(heap)
+            if when < self.now:
+                raise SimulationError("event queue went backwards in time")
+            self.now = when
+            self._events_processed += 1
+            fn()
+            if watchers:
+                now = self.now
+                for watcher in watchers:
+                    watcher(now)

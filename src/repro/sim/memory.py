@@ -60,6 +60,14 @@ class MemorySystem:
                 self._pu_numa[pu.os_index] = numa_idx
         if not self._pu_numa:
             raise SimulationError("topology has no NUMA-homed PUs")
+        # Precomputed per-(accessor, home) miss cost — the formula below
+        # is pure in (distance, model), and CacheSystem.touch consults it
+        # on every priced access, so pay the O(n_numa²) cost once here.
+        n_numa = self.distance.shape[0]
+        self._miss_cost: list[list[float]] = [
+            [self._compute_miss_cycles(a, h) for h in range(n_numa)]
+            for a in range(n_numa)
+        ]
 
     # -- allocation ----------------------------------------------------------
 
@@ -85,6 +93,16 @@ class MemorySystem:
     def buffers(self) -> list[Buffer]:
         return list(self._buffers)
 
+    @property
+    def pu_numa_map(self) -> dict[int, int]:
+        """PU os-index → NUMA logical index (shared, treat as read-only)."""
+        return self._pu_numa
+
+    @property
+    def miss_cost_table(self) -> list[list[float]]:
+        """Precomputed ``miss_cycles_per_line`` rows (treat as read-only)."""
+        return self._miss_cost
+
     # -- placement queries -----------------------------------------------------
 
     def numa_of_pu(self, pu: int) -> int:
@@ -101,18 +119,22 @@ class MemorySystem:
 
     # -- cost ---------------------------------------------------------------------
 
+    def _compute_miss_cycles(self, accessor_numa: int, home_numa: int) -> float:
+        d = float(self.distance[accessor_numa, home_numa])
+        latency = self.model.mem_cycles_local * (d / LOCAL_DISTANCE)
+        if accessor_numa != home_numa:
+            latency += self.model.interconnect_cycles_per_byte * self.model.cache_line
+        return latency / self.model.mem_parallelism
+
     def miss_cycles_per_line(self, accessor_numa: int, home_numa: int) -> float:
         """Cycles to fetch one cache line of a missed buffer.
 
         Local misses pay DRAM latency divided by memory-level parallelism;
         remote misses scale by SLIT distance and add an interconnect
-        bandwidth term per byte.
+        bandwidth term per byte. Served from the table precomputed at
+        construction.
         """
-        d = self.distance[accessor_numa, home_numa]
-        latency = self.model.mem_cycles_local * (d / LOCAL_DISTANCE)
-        if accessor_numa != home_numa:
-            latency += self.model.interconnect_cycles_per_byte * self.model.cache_line
-        return latency / self.model.mem_parallelism
+        return self._miss_cost[accessor_numa][home_numa]
 
     def is_remote(self, accessor_numa: int, home_numa: int) -> bool:
         return accessor_numa != home_numa

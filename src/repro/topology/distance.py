@@ -9,6 +9,8 @@ ACPI SLIT scaling: 10 on the diagonal, ``10 + hop_cost * hops`` elsewhere.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro.errors import TopologyError
@@ -17,6 +19,10 @@ from repro.topology.tree import Topology
 __all__ = ["numa_distance_matrix", "router_hops"]
 
 LOCAL_DISTANCE = 10.0
+
+#: topology → {hop_cost: read-only matrix}. Weak keys: memoized machine
+#: presets live for the process, ad-hoc test topologies get collected.
+_MATRIX_CACHE: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
 
 
 def router_hops(a: int, b: int) -> int:
@@ -42,7 +48,17 @@ def numa_distance_matrix(topology: Topology, *, hop_cost: float = 5.0) -> np.nda
 
     Entry ``[i, j]`` is relative memory-access latency from node *i* to
     memory homed on node *j* (diagonal = 10, symmetric).
+
+    Memoized per (topology, hop_cost): with machine presets shared across
+    experiment cells, every :class:`~repro.sim.memory.MemorySystem` and
+    TreeMatch ordering pass would otherwise rebuild the same matrix. The
+    returned array is marked read-only; callers needing a private copy
+    must ``.copy()`` it.
     """
+    per_topo = _MATRIX_CACHE.setdefault(topology, {})
+    cached = per_topo.get(hop_cost)
+    if cached is not None:
+        return cached
     n = len(topology.numa_nodes)
     if n == 0:
         raise TopologyError("topology has no NUMA nodes")
@@ -51,4 +67,6 @@ def numa_distance_matrix(topology: Topology, *, hop_cost: float = 5.0) -> np.nda
         for j in range(n):
             if i != j:
                 dist[i, j] = LOCAL_DISTANCE + hop_cost * router_hops(i, j)
+    dist.setflags(write=False)
+    per_topo[hop_cost] = dist
     return dist

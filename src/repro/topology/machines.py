@@ -3,10 +3,21 @@
 ``smp12e5``/``smp20e7`` reconstruct Table I of the paper; ``fig2_machine``
 is the 4-socket, 2-blade, 32-core machine of Fig. 2 ("similar to the one
 used in Table I") on which the video-tracking allocation is drawn.
+
+Presets are **memoized**: a figure sweep instantiates the same machine
+for every (variant × core-count) cell, and building the SMP20E7 tree
+(160 PUs plus cache levels) costs far more than the lookup. A finalized
+:class:`~repro.topology.tree.Topology` is read-only by convention — the
+simulator keeps all mutable state (occupancy, residency, homing) in its
+own structures — so sharing one instance is safe. Callers that really
+need a private tree (e.g. to deliberately corrupt it in tests) can pass
+``fresh=True`` to :func:`machine_by_name` or rebuild via
+``build_topology(topo.spec)``.
 """
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Callable
 
 from repro.errors import TopologyError
@@ -24,6 +35,12 @@ __all__ = [
 ]
 
 
+def _memoized_preset(builder: Callable[[], Topology]) -> Callable[[], Topology]:
+    """Build once per process, then hand out the shared finalized tree."""
+    return functools.lru_cache(maxsize=1)(builder)
+
+
+@_memoized_preset
 def smp12e5() -> Topology:
     """SMP12E5 (Table I): 12 NUMA nodes × 1 socket × 8 cores, hyperthreaded.
 
@@ -55,6 +72,7 @@ def smp12e5() -> Topology:
     )
 
 
+@_memoized_preset
 def smp20e7() -> Topology:
     """SMP20E7 (Table I): 20 NUMA nodes × 1 socket × 8 cores, no HT.
 
@@ -86,6 +104,7 @@ def smp20e7() -> Topology:
     )
 
 
+@_memoized_preset
 def smp12e5_4s() -> Topology:
     """A 4-socket (30-core-class) slice of SMP12E5 — the hardware budget
     the video-tracking experiment of Fig. 6 restricts itself to."""
@@ -105,6 +124,7 @@ def smp12e5_4s() -> Topology:
     )
 
 
+@_memoized_preset
 def smp20e7_4s() -> Topology:
     """A 4-socket slice of SMP20E7 (no hyperthreading), for Fig. 6."""
     return build_topology(
@@ -123,6 +143,7 @@ def smp20e7_4s() -> Topology:
     )
 
 
+@_memoized_preset
 def fig2_machine() -> Topology:
     """The 2-blade / 4-socket / 32-core machine of Fig. 2 (no HT shown)."""
     return build_topology(
@@ -157,12 +178,19 @@ def list_machines() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def machine_by_name(name: str) -> Topology:
-    """Instantiate a preset by (case-insensitive) name."""
+def machine_by_name(name: str, *, fresh: bool = False) -> Topology:
+    """A preset by (case-insensitive) name — the shared memoized instance.
+
+    ``fresh=True`` builds a brand-new tree instead (for callers that want
+    to mutate or deliberately corrupt a topology).
+    """
     key = name.upper()
     try:
-        return _REGISTRY[key]()
+        builder = _REGISTRY[key]
     except KeyError:
         raise TopologyError(
             f"unknown machine {name!r}; known: {', '.join(list_machines())}"
         ) from None
+    if fresh:
+        return builder.__wrapped__()
+    return builder()

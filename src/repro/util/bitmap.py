@@ -87,13 +87,14 @@ class Bitmap:
         return self._bits != 0
 
     def __iter__(self) -> Iterator[int]:
+        # Lowest-set-bit extraction: O(popcount) per full walk, not
+        # O(highest index) — singleton cpusets of high PUs are the
+        # scheduler's common case.
         bits = self._bits
-        index = 0
         while bits:
-            if bits & 1:
-                yield index
-            bits >>= 1
-            index += 1
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
 
     def first(self) -> int:
         """Lowest set index; -1 when empty (hwloc convention)."""
