@@ -38,6 +38,14 @@ OUT_PATH = ROOT / "BENCH_sim.json"
 #: Floor asserted by ``test_engine_event_throughput`` (events per run).
 ENGINE_EVENTS_FLOOR = 2_000
 
+#: Thread counts the mapping benchmarks sweep (ISSUE 3 scaling ladder).
+MAPPING_SIZES = (128, 512, 2048, 4096)
+
+#: Once one size of a mapping benchmark takes longer than this, the
+#: larger sizes are recorded as skipped instead of run — keeps a run on a
+#: slow (pre-optimization) tree from taking tens of minutes.
+MAPPING_BUDGET_S = 60.0
+
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
@@ -84,6 +92,103 @@ def fig4_probe() -> dict:
         "series": len(fig.series),
         "points": sum(len(s.y) for s in fig.series),
     }
+
+
+def mapping_benchmarks() -> dict:
+    """Time the TreeMatch placement engines on synthetic stencil matrices.
+
+    Three benchmarks per thread count: ``group`` (the greedy grouping
+    engine, arity 8), ``refine`` (the swap local search on the greedy
+    result), and ``full_map`` (the whole Algorithm 1 pipeline on the
+    SMP20E7 topology, oversubscription included). Deterministic — the
+    stencil matrix has no randomness — so two runs on the same tree agree
+    and before/after generations are directly comparable.
+    """
+    import numpy as np  # noqa: F401  (keeps the import cost out of the timing)
+
+    from repro.topology import smp20e7
+    from repro.treematch import CommunicationMatrix, treematch_map
+    from repro.treematch.grouping import (
+        group_greedy,
+        intra_group_weight,
+        refine_groups,
+    )
+
+    topo = smp20e7()
+    out: dict = {}
+
+    def sweep(kind: str, run) -> None:
+        entries: dict = {}
+        over_budget = False
+        for p in MAPPING_SIZES:
+            if over_budget:
+                entries[str(p)] = {"skipped": True,
+                                   "reason": f"budget {MAPPING_BUDGET_S}s"}
+                continue
+            entry = run(p)
+            entries[str(p)] = entry
+            print(f"  mapping {kind} p={p}: {entry['seconds']:.3f}s",
+                  flush=True)
+            if entry["seconds"] > MAPPING_BUDGET_S:
+                over_budget = True
+        out[kind] = entries
+
+    def bench_group(p: int) -> dict:
+        aff = CommunicationMatrix.stencil2d(p).affinity()
+        t0 = time.perf_counter()
+        groups = group_greedy(aff, 8)
+        dt = time.perf_counter() - t0
+        return {"seconds": dt,
+                "intra_group_weight": intra_group_weight(aff, groups)}
+
+    def bench_refine(p: int) -> dict:
+        aff = CommunicationMatrix.stencil2d(p).affinity()
+        groups = group_greedy(aff, 8)
+        before = intra_group_weight(aff, groups)
+        t0 = time.perf_counter()
+        refined = refine_groups(aff, groups)
+        dt = time.perf_counter() - t0
+        return {"seconds": dt,
+                "weight_before": before,
+                "intra_group_weight": intra_group_weight(aff, refined)}
+
+    def bench_full_map(p: int) -> dict:
+        comm = CommunicationMatrix.stencil2d(p)
+        t0 = time.perf_counter()
+        pl = treematch_map(topo, comm)
+        dt = time.perf_counter() - t0
+        return {"seconds": dt,
+                "oversub_factor": pl.oversub_factor,
+                "threads_bound": len(pl.thread_to_pu)}
+
+    sweep("group", bench_group)
+    sweep("refine", bench_refine)
+    sweep("full_map", bench_full_map)
+    return out
+
+
+def mapping_speedups(current: dict, previous: dict | None) -> dict:
+    """Per-benchmark speedup vs. the previous generation (sizes in both)."""
+    if not previous:
+        return {}
+    prev_bench = previous.get("mapping_bench")
+    if not prev_bench:
+        return {}
+    speedups: dict = {}
+    for kind, entries in current.items():
+        prev_entries = prev_bench.get(kind, {})
+        for size, entry in entries.items():
+            prev = prev_entries.get(size)
+            if (
+                prev
+                and not entry.get("skipped")
+                and not prev.get("skipped")
+                and entry.get("seconds")
+            ):
+                speedups.setdefault(kind, {})[size] = round(
+                    prev["seconds"] / entry["seconds"], 2
+                )
+    return speedups
 
 
 def pytest_benchmarks() -> dict:
@@ -154,6 +259,8 @@ def run_full() -> int:
     events, dt = min(engine_ring_events() for _ in range(3))
     print("running quick-scale Fig. 4 probe ...", flush=True)
     probe = fig4_probe()
+    print("running mapping benchmarks ...", flush=True)
+    mapping = mapping_benchmarks()
 
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -164,7 +271,11 @@ def run_full() -> int:
         },
         "pytest_benchmarks": benches,
         "fig4_quick_probe": probe,
+        "mapping_bench": mapping,
     }
+    speedups = mapping_speedups(mapping, previous)
+    if speedups:
+        record["mapping_speedup_vs_previous"] = speedups
     if previous is not None:
         record["previous"] = previous
 

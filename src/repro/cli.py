@@ -9,6 +9,7 @@ Installed as ``repro-paper`` (see pyproject.toml)::
     repro-paper table 2 --no-cache           # bypass the on-disk result cache
     repro-paper comm-matrix                  # Fig. 1 ASCII rendering
     repro-paper allocation                   # Fig. 2 placement
+    repro-paper map --machine SMP20E7 --threads 4096   # TreeMatch placement
     repro-paper lint lk23 --dynamic          # static + dynamic verifier
     repro-paper lint --all --json            # machine-readable findings
 
@@ -68,6 +69,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "0 = one per CPU)")
     p_tab.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk result cache")
+
+    p_map = sub.add_parser(
+        "map",
+        help="run the TreeMatch placement engine on a synthetic pattern",
+    )
+    p_map.add_argument("--machine", default="SMP20E7",
+                       help="machine preset (default: SMP20E7)")
+    p_map.add_argument("--threads", type=int, default=64,
+                       help="number of compute threads (default: 64); "
+                            "counts beyond the machine's capacity are "
+                            "oversubscribed via a virtual tree level")
+    p_map.add_argument("--pattern", choices=("stencil", "ring"),
+                       default="stencil",
+                       help="synthetic communication pattern (default: "
+                            "stencil = 2-D 5-point halo exchange)")
+    p_map.add_argument("--engine", choices=("optimal", "greedy"), default=None,
+                       help="pin the grouping engine (default: size-based)")
+    p_map.add_argument("--no-refine", action="store_true",
+                       help="skip the swap-refinement pass after grouping")
+    p_map.add_argument("--json", action="store_true",
+                       help="emit the placement and costs as JSON")
 
     sub.add_parser("comm-matrix", help="Fig. 1 communication matrix (ASCII)")
     sub.add_parser("allocation", help="Fig. 2 task allocation")
@@ -207,6 +229,75 @@ def _cmd_table(
     )
 
 
+def _cmd_map(
+    machine: str,
+    threads: int,
+    pattern: str,
+    engine: str | None,
+    refine: bool,
+    as_json: bool,
+) -> str:
+    """Run ``treematch_map`` on a synthetic pattern and report its cost."""
+    import time
+
+    from repro.topology import machine_by_name
+    from repro.treematch.commmatrix import CommunicationMatrix
+    from repro.treematch.mapping import treematch_map
+
+    topo = machine_by_name(machine)
+    if pattern == "stencil":
+        comm = CommunicationMatrix.stencil2d(threads)
+    else:  # ring: each thread talks to its successor (wrap-around)
+        comm = CommunicationMatrix.from_edges(
+            threads,
+            {(i, (i + 1) % threads): 100.0 for i in range(threads)}
+            if threads > 1 else {},
+        )
+
+    t0 = time.perf_counter()
+    placement = treematch_map(topo, comm, engine=engine, refine=refine)
+    elapsed = time.perf_counter() - t0
+    cost = placement.cost(topo, comm)
+    slit = placement.slit_cost(topo, comm)
+
+    if as_json:
+        from repro.analyze.report import json_text
+
+        return json_text({
+            "machine": machine,
+            "threads": threads,
+            "pattern": pattern,
+            "engine": engine or "auto",
+            "refine": refine,
+            "seconds": round(elapsed, 4),
+            "cost": cost,
+            "slit_cost": slit,
+            "placement": placement.to_dict(),
+        })
+
+    used = sorted(set(placement.thread_to_pu.values()))
+    lines = [
+        f"TreeMatch placement: {threads} {pattern} threads on {machine}",
+        f"  engine={engine or 'auto'} refine={refine} "
+        f"granularity={placement.granularity} "
+        f"oversubscription={placement.oversub_factor}x",
+        f"  solved in {elapsed:.3f} s; tree-distance cost {cost:.0f}, "
+        f"SLIT cost {slit:.0f}",
+        f"  {len(used)} PUs used: {used[0]}..{used[-1]}",
+    ]
+    if threads <= 64:
+        per_pu: dict[int, list[int]] = {}
+        for tid, pu in sorted(placement.thread_to_pu.items()):
+            per_pu.setdefault(pu, []).append(tid)
+        for pu in used:
+            tids = ",".join(str(t) for t in per_pu[pu])
+            lines.append(f"  PU {pu:>4}: threads {tids}")
+    else:
+        lines.append("  (per-PU table suppressed for >64 threads; "
+                     "use --json for the full binding)")
+    return "\n".join(lines)
+
+
 def _cmd_dfg() -> str:
     from repro.apps.video import VideoConfig
     from repro.apps.video.pipeline import build_orwl_video
@@ -258,6 +349,9 @@ def main(argv: list[str] | None = None) -> int:
             out = _cmd_fig(1, None)
         elif args.command == "allocation":
             out = _cmd_fig(2, None)
+        elif args.command == "map":
+            out = _cmd_map(args.machine, args.threads, args.pattern,
+                           args.engine, not args.no_refine, args.json)
         elif args.command == "dfg":
             out = _cmd_dfg()
         elif args.command == "lint":

@@ -18,29 +18,36 @@ __all__ = ["aggregate_comm_matrix"]
 def aggregate_comm_matrix(m: np.ndarray, groups: list[list[int]]) -> np.ndarray:
     """Aggregate *m* over *groups*; returns a ``k × k`` matrix.
 
-    Every process index must appear in exactly one group.
+    Every process index must appear in exactly one group. Computed as a
+    single ``G.T @ m @ G`` product with the group indicator matrix ``G``
+    (then the diagonal zeroed and the upper triangle mirrored, matching
+    the loop reference) instead of one fancy-indexed sum per group pair.
     """
     a = check_square(m, name="affinity matrix")
     p = a.shape[0]
-    seen: set[int] = set()
-    for g in groups:
-        for i in g:
-            if not 0 <= i < p:
-                raise MappingError(f"group member {i} outside order {p}")
-            if i in seen:
-                raise MappingError(f"process {i} appears in two groups")
-            seen.add(i)
-    if len(seen) != p:
-        raise MappingError(
-            f"groups cover {len(seen)} of {p} processes"
-        )
-
     k = len(groups)
-    out = np.zeros((k, k))
-    for gi in range(k):
-        idx_i = np.asarray(groups[gi], dtype=np.intp)
-        for gj in range(gi + 1, k):
-            idx_j = np.asarray(groups[gj], dtype=np.intp)
-            w = float(a[np.ix_(idx_i, idx_j)].sum())
-            out[gi, gj] = out[gj, gi] = w
-    return out
+
+    flat = np.fromiter(
+        (i for g in groups for i in g), dtype=np.int64,
+        count=sum(len(g) for g in groups),
+    )
+    if flat.size and (flat.min() < 0 or flat.max() >= p):
+        bad = flat[(flat < 0) | (flat >= p)][0]
+        raise MappingError(f"group member {bad} outside order {p}")
+    counts = np.bincount(flat, minlength=p) if flat.size else np.zeros(p, int)
+    if (counts > 1).any():
+        dup = int(np.flatnonzero(counts > 1)[0])
+        raise MappingError(f"process {dup} appears in two groups")
+    if flat.size != p:
+        raise MappingError(f"groups cover {flat.size} of {p} processes")
+
+    asg = np.empty(p, dtype=np.intp)
+    pos = 0
+    for gi, g in enumerate(groups):
+        asg[pos : pos + len(g)] = gi
+        pos += len(g)
+    indicator = np.zeros((p, k))
+    indicator[flat, asg] = 1.0
+    out = indicator.T @ a @ indicator
+    upper = np.triu(out, 1)
+    return upper + upper.T

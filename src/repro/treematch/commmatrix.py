@@ -55,6 +55,42 @@ class CommunicationMatrix:
             m[i, j] += w
         return cls(m, labels)
 
+    @classmethod
+    def stencil2d(
+        cls,
+        n: int,
+        *,
+        weight: float = 100.0,
+        width: int | None = None,
+    ) -> CommunicationMatrix:
+        """Synthetic 2-D 5-point stencil: each thread exchanges *weight*
+        bytes per iteration with its grid neighbours (halo exchange).
+
+        Threads are laid out row-major on a ``width``-wide grid
+        (``ceil(sqrt(n))`` by default); the matrix is built with vectorized
+        scatter so multi-thousand-thread instances cost milliseconds. This
+        is the placement-scaling workload of the mapping benchmarks.
+        """
+        if n <= 0:
+            raise MappingError(f"stencil order must be positive, got {n}")
+        if weight < 0:
+            raise MappingError(f"negative stencil weight {weight}")
+        w = width if width is not None else int(np.ceil(np.sqrt(n)))
+        if w <= 0:
+            raise MappingError(f"stencil width must be positive, got {w}")
+        m = np.zeros((n, n))
+        idx = np.arange(n)
+        x = idx % w
+        right = idx + 1
+        ok = (x + 1 < w) & (right < n)
+        m[idx[ok], right[ok]] = weight
+        m[right[ok], idx[ok]] = weight
+        down = idx + w
+        ok = down < n
+        m[idx[ok], down[ok]] = weight
+        m[down[ok], idx[ok]] = weight
+        return cls(m)
+
     # -- views ----------------------------------------------------------------
 
     @property

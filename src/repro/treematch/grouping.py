@@ -6,10 +6,18 @@ size ``a`` (the arity of the topology level being processed), produce
 paper, the engine "goes from an optimal but exponential algorithm to a
 greedy one that is linear" depending on the problem size; a local-search
 refinement pass closes most of the gap for mid-size problems.
+
+Scalability notes (ISSUE 3): the exact engine prunes its enumeration
+with a sorted-edge upper bound (branch-and-bound), the greedy engine
+keeps lazy row maxima instead of rescanning the matrix, and the
+refinement pass is a delta-gain local search driven by a precomputed
+element-to-group attraction matrix — all three stay usable at
+``p ≈ 4096`` (see the ``mapping_bench`` entries of ``BENCH_sim.json``).
 """
 
 from __future__ import annotations
 
+from itertools import combinations
 from math import comb
 
 import numpy as np
@@ -23,12 +31,16 @@ __all__ = [
     "group_greedy",
     "refine_groups",
     "partition_count",
+    "partition_count_exceeds",
     "intra_group_weight",
 ]
 
 #: Exhaustive search is used when the number of candidate partitions is
-#: below this bound (compare `partition_count`).
-OPTIMAL_SEARCH_LIMIT = 20_000
+#: below this bound (compare `partition_count`). Raised 10x over the
+#: original pure-enumeration limit: the branch-and-bound bound prunes
+#: most of the canonical tree, so the exact engine now covers more of
+#: the small-p space within the same time budget.
+OPTIMAL_SEARCH_LIMIT = 200_000
 
 
 def partition_count(p: int, a: int) -> int:
@@ -47,13 +59,37 @@ def partition_count(p: int, a: int) -> int:
     return count
 
 
+def partition_count_exceeds(p: int, a: int, limit: int) -> bool:
+    """True when :func:`partition_count` would exceed *limit*.
+
+    Stops multiplying as soon as the running product passes *limit* —
+    for large ``p`` the full count is a huge exact integer whose only use
+    here is a one-sided comparison, so most of the arithmetic is wasted.
+    """
+    if p % a:
+        raise MappingError(f"cannot split {p} processes into groups of {a}")
+    count = 1
+    remaining = p
+    while remaining > 0:
+        count *= comb(remaining - 1, a - 1)
+        if count > limit:
+            return True
+        remaining -= a
+    return count > limit
+
+
 def intra_group_weight(m: np.ndarray, groups: list[list[int]]) -> float:
-    """Total affinity kept inside groups (the maximization objective)."""
+    """Total affinity kept inside groups (the maximization objective).
+
+    *m* is assumed symmetric (the TreeMatch affinity view); each group's
+    contribution is half its off-diagonal submatrix sum.
+    """
+    m = np.asarray(m, dtype=np.float64)
     total = 0.0
     for g in groups:
-        for x, i in enumerate(g):
-            for j in g[x + 1 :]:
-                total += m[i, j]
+        idx = np.asarray(g, dtype=np.intp)
+        sub = m[np.ix_(idx, idx)]
+        total += (sub.sum() - np.trace(sub)) / 2.0
     return float(total)
 
 
@@ -90,7 +126,7 @@ def group_processes(
         if refine:
             groups = refine_groups(a, groups)
     elif force is None:
-        if partition_count(p, arity) <= OPTIMAL_SEARCH_LIMIT:
+        if not partition_count_exceeds(p, arity, OPTIMAL_SEARCH_LIMIT):
             groups = group_optimal(a, arity)
         else:
             groups = group_greedy(a, arity)
@@ -111,45 +147,62 @@ def _canonical(groups: list[list[int]]) -> list[list[int]]:
 
 
 def group_optimal(m: np.ndarray, arity: int) -> list[list[int]]:
-    """Exhaustive canonical enumeration; maximizes intra-group weight.
+    """Exact canonical enumeration with branch-and-bound pruning.
 
-    Exponential — guarded by ``OPTIMAL_SEARCH_LIMIT`` in
-    :func:`group_processes`, but callable directly for tests.
+    The bound: an element can never gain more than the sum of its
+    ``arity - 1`` heaviest incident edges inside any future group, and
+    summing that over the unassigned remainder counts every candidate
+    pair at most twice — so half that sum bounds the achievable weight of
+    any completion. Subtrees whose bound cannot beat the incumbent are
+    skipped, which keeps the engine usable well past the old enumeration
+    limit while returning exactly the enumeration's result. Guarded by
+    ``OPTIMAL_SEARCH_LIMIT`` in :func:`group_processes`, but callable
+    directly for tests.
     """
     p = m.shape[0]
+    sorted_rows = np.sort(m, axis=1)[:, ::-1]
+    top_gain = sorted_rows[:, : arity - 1].sum(axis=1)
+
     best_groups: list[list[int]] | None = None
     best_weight = -1.0
 
-    def recurse(unassigned: list[int], acc: list[list[int]], weight: float) -> None:
+    def recurse(
+        unassigned: list[int],
+        acc: list[list[int]],
+        weight: float,
+        rem_bound: float,
+    ) -> None:
         nonlocal best_groups, best_weight
         if not unassigned:
             if weight > best_weight:
                 best_weight = weight
                 best_groups = [list(g) for g in acc]
             return
+        if weight + 0.5 * rem_bound <= best_weight:
+            return
         anchor = unassigned[0]
         rest = unassigned[1:]
-        for combo in _combinations(rest, arity - 1):
+        anchor_bound = top_gain[anchor]
+        for combo in combinations(rest, arity - 1):
             group = [anchor, *combo]
             w = weight
             for x, i in enumerate(group):
                 for j in group[x + 1 :]:
                     w += m[i, j]
-            remaining = [u for u in rest if u not in combo]
+            child_bound = rem_bound - anchor_bound - sum(
+                top_gain[c] for c in combo
+            )
+            if w + 0.5 * child_bound <= best_weight:
+                continue
+            combo_set = set(combo)
+            remaining = [u for u in rest if u not in combo_set]
             acc.append(group)
-            recurse(remaining, acc, w)
+            recurse(remaining, acc, w, child_bound)
             acc.pop()
 
-    recurse(list(range(p)), [], 0.0)
+    recurse(list(range(p)), [], 0.0, float(top_gain.sum()))
     assert best_groups is not None
     return best_groups
-
-
-def _combinations(items: list[int], r: int):
-    # itertools.combinations, local to avoid set-lookup overhead patterns
-    from itertools import combinations
-
-    return combinations(items, r)
 
 
 # -- greedy engine ---------------------------------------------------------------
@@ -159,73 +212,161 @@ def group_greedy(m: np.ndarray, arity: int) -> list[list[int]]:
     """Greedy grouping: seed each group with the heaviest unassigned pair,
     then grow it with the element most attracted to the group.
 
-    Vectorized with a masked copy of the matrix so each seed/grow decision
-    is a single argmax — near-linear in practice.
+    Seed selection keeps lazy per-row maxima (refreshed only when a row's
+    witness column is retired) instead of rescanning the p x p matrix, and
+    each grow step updates the group-attraction vector incrementally — so
+    the engine stays near-linear even at thousands of threads.
     """
     p = m.shape[0]
+    if arity == 1:
+        return [[i] for i in range(p)]
     work = np.array(m, dtype=np.float64)
     np.fill_diagonal(work, -np.inf)
     free = np.ones(p, dtype=bool)
+    row_max = work.max(axis=1)
+    row_arg = work.argmax(axis=1)
     groups: list[list[int]] = []
 
     def retire(i: int) -> None:
         free[i] = False
-        work[i, :] = -np.inf
-        work[:, i] = -np.inf
+        row_max[i] = -np.inf
+
+    def heaviest_pair() -> tuple[int, int]:
+        while True:
+            i = int(np.argmax(row_max))
+            j = int(row_arg[i])
+            if free[j]:
+                return i, j
+            # Stale witness: recompute this row's maximum over free cols.
+            masked = np.where(free, work[i], -np.inf)
+            row_max[i] = masked.max()
+            row_arg[i] = masked.argmax()
 
     while free.any():
         remaining = int(free.sum())
         if remaining == arity:
             groups.append([int(i) for i in np.flatnonzero(free)])
             break
-        if arity == 1:
-            i = int(np.flatnonzero(free)[0])
-            retire(i)
-            groups.append([i])
-            continue
-        flat = int(np.argmax(work))
-        seed_i, seed_j = divmod(flat, p)
+        seed_i, seed_j = heaviest_pair()
         group = [seed_i, seed_j]
         retire(seed_i)
         retire(seed_j)
+        attract = m[:, seed_i] + m[:, seed_j]
         while len(group) < arity:
-            # Attraction of every free element to the group; mask others out.
-            attract = m[:, group].sum(axis=1)
-            attract[~free] = -np.inf
-            best = int(np.argmax(attract))
+            cand = np.where(free, attract, -np.inf)
+            best = int(np.argmax(cand))
             retire(best)
             group.append(best)
+            attract = attract + m[:, best]
         groups.append(group)
     return groups
 
 
 # -- refinement -------------------------------------------------------------------
 
+#: Row-block size for the vectorized gain evaluation; bounds the size of
+#: the temporary gain blocks to block x p.
+_REFINE_BLOCK = 512
+
 
 def refine_groups(
     m: np.ndarray, groups: list[list[int]], *, max_rounds: int = 4
 ) -> list[list[int]]:
-    """Pairwise-swap local search: keep exchanging elements between groups
-    while any swap increases total intra-group weight."""
+    """Pairwise-swap local search: exchange elements between groups while
+    any swap increases total intra-group weight.
+
+    Delta-gain formulation: with ``A[i, g]`` the attraction of element
+    *i* to group *g* (one matrix product to build, updated incrementally
+    after each applied swap), the gain of exchanging *i* and *j* is
+    ``A[i, gj] + A[j, gi] - A[i, gi] - A[j, gj] - 2 m[i, j]``. Each sweep
+    evaluates every cross-group pair vectorized (in row blocks), then
+    applies the best non-conflicting swaps in descending-gain order,
+    re-checking each candidate's exact gain against the current state so
+    the objective never decreases. Sweeps repeat until none improves
+    (bounded by ``8 * max_rounds`` as a safety stop).
+
+    Only the listed members move; elements of *m* outside *groups* are
+    untouched (the search then runs on the member submatrix).
+    """
     groups = [list(g) for g in groups]
+    k = len(groups)
+    if k < 2:
+        return groups
+    m = np.asarray(m, dtype=np.float64)
+    p = m.shape[0]
+    members = [i for g in groups for i in g]
+    n = len(members)
+    if n == p and sorted(members) == list(range(p)):
+        sub = m
+        local_of: np.ndarray | None = None
+        asg = np.empty(n, dtype=np.intp)
+        for gi, g in enumerate(groups):
+            asg[np.asarray(g, dtype=np.intp)] = gi
+    else:
+        local_of = np.asarray(members, dtype=np.intp)
+        sub = m[np.ix_(local_of, local_of)]
+        asg = np.empty(n, dtype=np.intp)
+        pos = 0
+        for gi, g in enumerate(groups):
+            asg[pos : pos + len(g)] = gi
+            pos += len(g)
 
-    def gain(ga: list[int], gb: list[int], i: int, j: int) -> float:
-        # Move i: ga -> gb and j: gb -> ga.
-        before = sum(m[i, x] for x in ga if x != i) + sum(m[j, x] for x in gb if x != j)
-        after = sum(m[i, x] for x in gb if x != j) + sum(m[j, x] for x in ga if x != i)
-        return after - before
+    indicator = np.zeros((n, k))
+    indicator[np.arange(n), asg] = 1.0
+    attraction = sub @ indicator
 
-    for _ in range(max_rounds):
+    rows = np.arange(n)
+    for _ in range(max(8 * max_rounds, 16)):
+        own = attraction[rows, asg]
+        delta = attraction - own[:, None]
+        best_gain = np.full(n, -np.inf)
+        best_j = np.zeros(n, dtype=np.intp)
+        for start in range(0, n, _REFINE_BLOCK):
+            stop = min(start + _REFINE_BLOCK, n)
+            blk = slice(start, stop)
+            gain_blk = (
+                delta[blk][:, asg] + delta[:, asg[blk]].T - 2.0 * sub[blk]
+            )
+            gain_blk[asg[blk, None] == asg[None, :]] = -np.inf
+            arg = gain_blk.argmax(axis=1)
+            best_j[blk] = arg
+            best_gain[blk] = gain_blk[np.arange(stop - start), arg]
+
+        order = np.argsort(-best_gain, kind="stable")
+        touched = np.zeros(n, dtype=bool)
         improved = False
-        for ai in range(len(groups)):
-            for bi in range(ai + 1, len(groups)):
-                ga, gb = groups[ai], groups[bi]
-                for xi in range(len(ga)):
-                    for yi in range(len(gb)):
-                        g = gain(ga, gb, ga[xi], gb[yi])
-                        if g > 1e-12:
-                            ga[xi], gb[yi] = gb[yi], ga[xi]
-                            improved = True
+        for i in order:
+            if best_gain[i] <= 1e-12:
+                break
+            i = int(i)
+            j = int(best_j[i])
+            if touched[i] or touched[j]:
+                continue
+            gi, gj = int(asg[i]), int(asg[j])
+            if gi == gj:
+                continue
+            gain = (
+                attraction[i, gj]
+                + attraction[j, gi]
+                - attraction[i, gi]
+                - attraction[j, gj]
+                - 2.0 * sub[i, j]
+            )
+            if gain <= 1e-12:
+                continue
+            attraction[:, gi] += sub[:, j] - sub[:, i]
+            attraction[:, gj] += sub[:, i] - sub[:, j]
+            asg[i], asg[j] = gj, gi
+            touched[i] = touched[j] = True
+            improved = True
         if not improved:
             break
-    return groups
+
+    out: list[list[int]] = []
+    for gi in range(k):
+        local = np.flatnonzero(asg == gi)
+        if local_of is None:
+            out.append([int(x) for x in local])
+        else:
+            out.append([int(local_of[x]) for x in local])
+    return out

@@ -53,14 +53,14 @@ def child_distance_matrix(topology: Topology) -> np.ndarray:
 
 def placement_cost(m: np.ndarray, slots: list[int], dist: np.ndarray) -> float:
     """Cost of assigning group g to child ``slots[g]``."""
-    total = 0.0
     k = len(slots)
-    for a in range(k):
-        for b in range(a + 1, k):
-            w = m[a, b]
-            if w:
-                total += w * dist[slots[a], slots[b]]
-    return total
+    if k < 2:
+        return 0.0
+    s = np.asarray(slots, dtype=np.intp)
+    iu, ju = np.triu_indices(k, 1)
+    return float(
+        (np.asarray(m)[iu, ju] * np.asarray(dist)[s[iu], s[ju]]).sum()
+    )
 
 
 def order_top_groups(
@@ -75,6 +75,8 @@ def order_top_groups(
     *m* is the affinity matrix between the groups (order == len(groups));
     *dist* the child distance matrix. Greedy construction (heaviest
     communicator first, nearest free child) plus 2-opt swap refinement.
+    The 2-opt pass evaluates each candidate swap by its O(k) cost delta
+    instead of recomputing the full O(k^2) objective.
     """
     k = len(groups)
     if m.shape != (k, k) or dist.shape != (k, k):
@@ -83,13 +85,15 @@ def order_top_groups(
         )
     if k <= 2:
         return [list(g) for g in groups]
+    m = np.asarray(m, dtype=np.float64)
+    dist = np.asarray(dist, dtype=np.float64)
 
     # Greedy: seed with the group with most total traffic on the child
     # with minimal total distance (the "center" of the interconnect).
     totals = m.sum(axis=1)
     order_groups = list(np.argsort(-totals, kind="stable"))
     center = int(np.argmin(dist.sum(axis=1)))
-    slots = [-1] * k  # slots[g] = child index
+    slots = np.full(k, -1, dtype=np.intp)  # slots[g] = child index
     free_children = set(range(k))
     placed: list[int] = []
 
@@ -99,31 +103,37 @@ def order_top_groups(
     placed.append(first)
 
     for g in order_groups[1:]:
-        best_child, best_cost = -1, np.inf
-        for c in sorted(free_children):
-            cost = sum(m[g, p] * dist[c, slots[p]] for p in placed)
-            if cost < best_cost:
-                best_child, best_cost = c, cost
+        free = np.asarray(sorted(free_children), dtype=np.intp)
+        placed_arr = np.asarray(placed, dtype=np.intp)
+        costs = dist[np.ix_(free, slots[placed_arr])] @ m[g, placed_arr]
+        best_child = int(free[int(np.argmin(costs))])
         slots[g] = best_child
         free_children.discard(best_child)
         placed.append(g)
 
-    # 2-opt: swap child assignments while it lowers the objective.
+    # 2-opt: swap child assignments while it lowers the objective. The
+    # delta of swapping a and b only involves pairs touching a or b.
     for _ in range(swap_rounds):
         improved = False
         for a in range(k):
             for b in range(a + 1, k):
-                current = placement_cost(m, slots, dist)
-                slots[a], slots[b] = slots[b], slots[a]
-                if placement_cost(m, slots, dist) < current - 1e-12:
+                sa, sb = slots[a], slots[b]
+                shift_a = (dist[sb] - dist[sa])[slots]
+                shift_b = (dist[sa] - dist[sb])[slots]
+                delta = float(m[a] @ shift_a + m[b] @ shift_b)
+                # Remove the self and pair terms the row products picked
+                # up, then add the pair's true post-swap change.
+                delta -= m[a, a] * shift_a[a] + m[a, b] * shift_a[b]
+                delta -= m[b, a] * shift_b[a] + m[b, b] * shift_b[b]
+                delta += m[a, b] * (dist[sb, sa] - dist[sa, sb])
+                if delta < -1e-12:
+                    slots[a], slots[b] = sb, sa
                     improved = True
-                else:
-                    slots[a], slots[b] = slots[b], slots[a]
         if not improved:
             break
 
     # groups_out[child] = the group assigned to that child.
     out: list[list[int]] = [[] for _ in range(k)]
     for g, c in enumerate(slots):
-        out[c] = list(groups[g])
+        out[int(c)] = list(groups[g])
     return out

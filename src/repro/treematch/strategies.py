@@ -9,6 +9,8 @@ criticizes.
 
 from __future__ import annotations
 
+from math import ceil
+
 from repro.errors import MappingError
 from repro.topology.objects import ObjType, TopoObject
 from repro.topology.tree import Topology
@@ -24,34 +26,59 @@ __all__ = [
 ]
 
 
-def _check_n(topology: Topology, n_threads: int, capacity: int) -> None:
+def _check_n(
+    topology: Topology,
+    n_threads: int,
+    capacity: int,
+    *,
+    oversubscribe: bool = False,
+) -> int:
+    """Validate the thread count; return the oversubscription factor."""
     if n_threads <= 0:
         raise MappingError(f"n_threads must be positive, got {n_threads}")
-    if n_threads > capacity:
+    if n_threads <= capacity:
+        return 1
+    if not oversubscribe:
         raise MappingError(
             f"{n_threads} threads exceed capacity {capacity} of {topology.name}"
         )
+    return ceil(n_threads / capacity)
 
 
-def _placement(topology: Topology, order: list[TopoObject], n: int, name: str) -> Placement:
+def _placement(
+    topology: Topology,
+    order: list[TopoObject],
+    n: int,
+    name: str,
+    factor: int = 1,
+) -> Placement:
+    # Threads wrap around the leaf order when oversubscribed, mirroring
+    # how the affinity-blind baselines behave on an overcommitted node.
+    width = len(order)
     return Placement(
-        thread_to_pu={i: order[i].os_index for i in range(n)},
+        thread_to_pu={i: order[i % width].os_index for i in range(n)},
         control_mode="os",
         granularity="pu",
+        oversub_factor=factor,
         topology_name=topology.name,
         groups_per_level=(),
     )
 
 
-def compact_placement(topology: Topology, n_threads: int) -> Placement:
+def compact_placement(
+    topology: Topology, n_threads: int, *, oversubscribe: bool = False
+) -> Placement:
     """``KMP_AFFINITY=compact``: fill PUs in os order — hyperthread
     siblings first, then the next core, then the next socket."""
     pus = [pu for core in topology.cores for pu in core.leaves()]
-    _check_n(topology, n_threads, len(pus))
-    return _placement(topology, pus, n_threads, "compact")
+    factor = _check_n(topology, n_threads, len(pus),
+                      oversubscribe=oversubscribe)
+    return _placement(topology, pus, n_threads, "compact", factor)
 
 
-def scatter_placement(topology: Topology, n_threads: int) -> Placement:
+def scatter_placement(
+    topology: Topology, n_threads: int, *, oversubscribe: bool = False
+) -> Placement:
     """``KMP_AFFINITY=scatter``: distribute as evenly as possible across
     sockets, then across cores, using hyperthread siblings last."""
     sockets = topology.sockets or topology.numa_nodes
@@ -69,19 +96,25 @@ def scatter_placement(topology: Topology, n_threads: int) -> Placement:
                     leaves = cores[core_rank].leaves()
                     if sib < len(leaves):
                         order.append(leaves[sib])
-    _check_n(topology, n_threads, len(order))
-    return _placement(topology, order, n_threads, "scatter")
+    factor = _check_n(topology, n_threads, len(order),
+                      oversubscribe=oversubscribe)
+    return _placement(topology, order, n_threads, "scatter", factor)
 
 
-def cores_close_placement(topology: Topology, n_threads: int) -> Placement:
+def cores_close_placement(
+    topology: Topology, n_threads: int, *, oversubscribe: bool = False
+) -> Placement:
     """``OMP_PLACES=cores`` + ``OMP_PROC_BIND=close``: one thread per core,
     cores in machine order (hyperthread siblings left idle)."""
     order = [core.children[0] for core in topology.cores]
-    _check_n(topology, n_threads, len(order))
-    return _placement(topology, order, n_threads, "cores-close")
+    factor = _check_n(topology, n_threads, len(order),
+                      oversubscribe=oversubscribe)
+    return _placement(topology, order, n_threads, "cores-close", factor)
 
 
-def cores_spread_placement(topology: Topology, n_threads: int) -> Placement:
+def cores_spread_placement(
+    topology: Topology, n_threads: int, *, oversubscribe: bool = False
+) -> Placement:
     """``OMP_PLACES=cores`` + ``OMP_PROC_BIND=spread``: one thread per core,
     cores round-robined across sockets."""
     sockets = topology.sockets or topology.numa_nodes
@@ -95,8 +128,9 @@ def cores_spread_placement(topology: Topology, n_threads: int) -> Placement:
         for cores in per_socket_cores
         if rank < len(cores)
     ]
-    _check_n(topology, n_threads, len(order))
-    return _placement(topology, order, n_threads, "cores-spread")
+    factor = _check_n(topology, n_threads, len(order),
+                      oversubscribe=oversubscribe)
+    return _placement(topology, order, n_threads, "cores-spread", factor)
 
 
 def sequential_placement(topology: Topology, n_threads: int = 1) -> Placement:

@@ -95,6 +95,43 @@ class TestJsonOutput:
         assert {"variant", "cpu_migrations"} <= set(rows[0])
 
 
+class TestMapCommand:
+    def test_map_small_prints_binding_table(self, capsys):
+        assert main(["map", "--machine", "SMP12E5", "--threads", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "16 stencil threads on SMP12E5" in out
+        assert "PU " in out  # full binding table for small runs
+
+    def test_map_ring_greedy_no_refine(self, capsys):
+        assert main(["map", "--threads", "128", "--pattern", "ring",
+                     "--engine", "greedy", "--no-refine"]) == 0
+        out = capsys.readouterr().out
+        assert "engine=greedy refine=False" in out
+        assert "per-PU table suppressed" in out
+
+    def test_map_oversubscribed(self, capsys):
+        # 200 threads on SMP20E7's 160 PUs -> factor 2 via a virtual level.
+        assert main(["map", "--threads", "200"]) == 0
+        assert "oversubscription=2x" in capsys.readouterr().out
+
+    def test_map_json_round_trips_placement(self, capsys):
+        import json
+
+        from repro.treematch.mapping import Placement
+
+        assert main(["map", "--threads", "12", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["threads"] == 12 and doc["pattern"] == "stencil"
+        assert doc["cost"] >= 0 and doc["seconds"] >= 0
+        pl = Placement.from_dict(doc["placement"])
+        assert sorted(pl.thread_to_pu) == list(range(12))
+        assert pl.groups_per_level
+
+    def test_map_unknown_machine(self, capsys):
+        assert main(["map", "--machine", "CRAY-1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestLintCommand:
     def test_lint_needs_app_or_all(self, capsys):
         assert main(["lint"]) == 2

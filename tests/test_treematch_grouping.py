@@ -13,6 +13,7 @@ from repro.treematch.grouping import (
     group_processes,
     intra_group_weight,
     partition_count,
+    partition_count_exceeds,
     refine_groups,
 )
 
@@ -35,6 +36,24 @@ class TestPartitionCount:
     def test_indivisible_rejected(self):
         with pytest.raises(MappingError):
             partition_count(5, 2)
+
+
+class TestPartitionCountExceeds:
+    @pytest.mark.parametrize("p,a", [(4, 2), (6, 2), (6, 3), (8, 4), (4, 4)])
+    def test_agrees_with_full_count(self, p, a):
+        count = partition_count(p, a)
+        assert not partition_count_exceeds(p, a, count)
+        assert partition_count_exceeds(p, a, count - 1)
+        assert not partition_count_exceeds(p, a, count + 1)
+
+    def test_huge_instance_short_circuits(self):
+        # 4160 elements into groups of 26: the true count has thousands of
+        # digits; the early-exit variant must answer without computing it.
+        assert partition_count_exceeds(4160, 26, 200_000)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(MappingError):
+            partition_count_exceeds(5, 2, 10)
 
 
 class TestGroupProcesses:
@@ -165,3 +184,106 @@ class TestAggregate:
         m = np.zeros((2, 2))
         with pytest.raises(MappingError):
             aggregate_comm_matrix(m, [[0, 5]])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([(4, 2), (6, 2), (6, 3), (9, 3), (12, 4)]),
+    )
+    def test_matmul_matches_loop_reference(self, seed, shape):
+        # The G.T @ m @ G formulation must agree with the per-pair loop it
+        # replaced — including on *asymmetric* inputs, where the mirror of
+        # the upper triangle defines the result.
+        n, size = shape
+        rng = np.random.default_rng(seed)
+        m = rng.random((n, n)) * 100  # deliberately not symmetrized
+        perm = rng.permutation(n)
+        groups = [sorted(perm[i : i + size].tolist())
+                  for i in range(0, n, size)]
+        k = len(groups)
+        ref = np.zeros((k, k))
+        for gi in range(k):
+            for gj in range(gi + 1, k):
+                w = m[np.ix_(groups[gi], groups[gj])].sum()
+                ref[gi, gj] = ref[gj, gi] = w
+        np.testing.assert_allclose(
+            aggregate_comm_matrix(m, groups), ref, atol=1e-9
+        )
+
+
+def exhaustive_best_weight(m, arity):
+    """Unpruned reference for group_optimal: enumerate every partition."""
+    from itertools import combinations
+
+    best = [-np.inf]
+
+    def recurse(rest, weight):
+        if not rest:
+            best[0] = max(best[0], weight)
+            return
+        anchor = rest[0]
+        for combo in combinations(rest[1:], arity - 1):
+            members = (anchor, *combo)
+            w = sum(m[a, b] for i, a in enumerate(members)
+                    for b in members[i + 1 :])
+            recurse([u for u in rest[1:] if u not in combo], weight + w)
+
+    recurse(list(range(m.shape[0])), 0.0)
+    return best[0]
+
+
+class TestEngineEquivalence:
+    """Property tests pinning the vectorized engines to their references."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([(6, 2), (6, 3), (8, 2), (8, 4), (10, 5), (12, 3)]),
+    )
+    def test_refine_never_decreases_weight(self, seed, shape):
+        # From an arbitrary (not greedy) starting partition, refinement
+        # must be monotone in intra-group weight.
+        n, size = shape
+        rng = np.random.default_rng(seed)
+        m = symmetric(n, rng)
+        perm = rng.permutation(n)
+        start = [sorted(perm[i : i + size].tolist())
+                 for i in range(0, n, size)]
+        before = intra_group_weight(m, start)
+        after = intra_group_weight(m, refine_groups(m, start))
+        assert after >= before - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([(6, 2), (6, 3), (8, 4), (9, 3)]),
+    )
+    def test_branch_and_bound_is_exact(self, seed, shape):
+        # group_optimal prunes with an upper bound; the result must still
+        # have the same weight as full enumeration.
+        n, size = shape
+        m = symmetric(n, np.random.default_rng(seed))
+        w = intra_group_weight(m, group_optimal(m, size))
+        assert w == pytest.approx(exhaustive_best_weight(m, size), abs=1e-9)
+
+    # Curated instances (pre-scanned) where the greedy+refine pipeline
+    # lands on the exact optimum — a floor the fast path must not lose.
+    GALLERY = [
+        (0, 6, 2), (1, 6, 2), (2, 6, 2),
+        (0, 6, 3), (1, 6, 3), (2, 6, 3),
+        (0, 8, 2), (1, 8, 2), (2, 8, 2),
+        (0, 8, 4), (1, 8, 4), (2, 8, 4),
+        (0, 9, 3), (2, 9, 3), (3, 9, 3),
+        (1, 10, 2), (2, 10, 2), (3, 10, 2),
+        (0, 12, 3), (5, 12, 3), (7, 12, 3),
+    ]
+
+    @pytest.mark.parametrize("seed,n,size", GALLERY)
+    def test_greedy_refine_reaches_optimal_on_gallery(self, seed, n, size):
+        rng = np.random.default_rng(seed)
+        m = symmetric(n, rng)
+        w_opt = intra_group_weight(m, group_optimal(m, size))
+        w_fast = intra_group_weight(
+            m, refine_groups(m, group_greedy(m, size))
+        )
+        assert w_fast == pytest.approx(w_opt, abs=1e-9)

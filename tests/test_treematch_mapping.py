@@ -73,6 +73,35 @@ class TestCommunicationMatrix:
         with pytest.raises(MappingError):
             comm.padded(2)
 
+    def test_stencil2d_matches_loop_reference(self):
+        # 3x4 grid, row-major: the vectorized builder must produce exactly
+        # the 5-point halo-exchange edges a nested loop would.
+        n, width, weight = 12, 4, 7.0
+        ref = np.zeros((n, n))
+        for t in range(n):
+            r, c = divmod(t, width)
+            for nr, nc in ((r, c + 1), (r + 1, c)):
+                u = nr * width + nc
+                if nc < width and u < n:
+                    ref[t, u] = ref[u, t] = weight
+        comm = CommunicationMatrix.stencil2d(n, weight=weight, width=width)
+        np.testing.assert_allclose(comm.raw, ref)
+
+    def test_stencil2d_default_width_and_ragged_last_row(self):
+        # n=10 -> ceil(sqrt(10)) = 4 wide; last row has only 2 cells.
+        comm = CommunicationMatrix.stencil2d(10)
+        assert comm.order == 10
+        assert comm.raw[8, 9] > 0        # horizontal edge in ragged row
+        assert comm.raw[3, 7] > 0        # vertical edge in full column
+        assert np.allclose(comm.raw, comm.raw.T)
+        # Interior cell 5 (row 1, col 1) has all 4 neighbours.
+        assert np.count_nonzero(comm.raw[5]) == 4
+
+    def test_stencil2d_degenerate_sizes(self):
+        assert CommunicationMatrix.stencil2d(1).total_traffic() == 0.0
+        comm = CommunicationMatrix.stencil2d(2)
+        assert comm.raw[0, 1] > 0
+
 
 class TestOversubscription:
     def test_no_extension_when_fits(self):
@@ -213,6 +242,60 @@ class TestTreematchMap:
         for pu in pl.thread_to_pu.values():
             topo.pu(pu)  # must exist
 
+    def test_dict_round_trip_preserves_groups_per_level(self):
+        from repro.treematch.mapping import Placement
+
+        topo = smp20e7()
+        pl = treematch_map(topo, ring_matrix(24), n_control=4)
+        assert pl.groups_per_level  # the driver records every level
+        data = pl.to_dict()
+        assert "groups_per_level" in data
+        back = Placement.from_dict(data)
+        assert back.groups_per_level == pl.groups_per_level
+        assert back == pl
+
+    def test_dict_round_trip_survives_json(self):
+        import json
+
+        from repro.treematch.mapping import Placement
+
+        topo = fig2_machine()
+        pl = treematch_map(topo, ring_matrix(12))
+        back = Placement.from_dict(json.loads(json.dumps(pl.to_dict())))
+        assert back == pl
+        assert back.groups_per_level == pl.groups_per_level
+
+
+class TestScale:
+    """The tentpole: thousands of threads must map in interactive time."""
+
+    def test_stencil_1040_oversubscribed(self):
+        topo = smp20e7()  # 160 PUs, no HT
+        comm = CommunicationMatrix.stencil2d(1040)
+        pl = treematch_map(topo, comm)
+        assert pl.oversub_factor == 7  # ceil(1040 / 160)
+        assert sorted(pl.thread_to_pu) == list(range(1040))
+        counts = Counter(pl.thread_to_pu.values())
+        assert max(counts.values()) <= 7
+        # A topology-aware stencil placement must beat the affinity-blind
+        # scatter baseline on the distance objective.
+        blind = scatter_placement(topo, 1040, oversubscribe=True)
+        assert pl.cost(topo, comm) < blind.cost(topo, comm)
+
+    def test_stencil_2048_latency_smoke(self):
+        # Regression guard for the scalable engines: p=2048 took ~107 s
+        # before the delta-gain rewrite; it now runs in about a second.
+        # The generous bound only catches order-of-magnitude regressions.
+        import time
+
+        topo = smp20e7()
+        comm = CommunicationMatrix.stencil2d(2048)
+        t0 = time.perf_counter()
+        pl = treematch_map(topo, comm)
+        elapsed = time.perf_counter() - t0
+        assert sorted(pl.thread_to_pu) == list(range(2048))
+        assert elapsed < 30.0
+
 
 class TestBaselineStrategies:
     def test_compact_uses_siblings_first(self):
@@ -252,6 +335,26 @@ class TestBaselineStrategies:
             compact_placement(topo, 33)
         with pytest.raises(MappingError):
             compact_placement(topo, 0)
+
+    def test_oversubscribe_wraps_leaf_order(self):
+        topo = fig2_machine()  # 32 PUs
+        pl = compact_placement(topo, 40, oversubscribe=True)
+        assert pl.oversub_factor == 2
+        assert len(pl.thread_to_pu) == 40
+        # Thread 32 wraps back onto the same PU as thread 0.
+        assert pl.thread_to_pu[32] == pl.thread_to_pu[0]
+        counts = Counter(pl.thread_to_pu.values())
+        assert max(counts.values()) <= 2
+
+    def test_oversubscribe_all_baselines(self):
+        topo = fig2_machine()
+        for strat in (compact_placement, scatter_placement,
+                      cores_close_placement, cores_spread_placement):
+            pl = strat(topo, 80, oversubscribe=True)
+            assert len(pl.thread_to_pu) == 80
+            assert pl.oversub_factor >= 2
+            with pytest.raises(MappingError):
+                strat(topo, 80)
 
     def test_registry(self):
         assert strategy_by_name("compact") is compact_placement
