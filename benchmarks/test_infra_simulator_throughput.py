@@ -3,38 +3,57 @@
 Not a paper experiment — a regression guard for the substrate itself:
 the discrete-event engine must sustain enough events/second that the
 paper-scale regenerations stay in minutes. This is the figure to watch
-when touching sim/machine internals.
+when touching sim/machine internals. The ring runs on the batched core
+by default (no taps installed); ``test_simcore_smoke`` pins that both
+cores still run the same workload to the same answer without the
+benchmark fixture, so it is cheap enough for any pytest invocation.
 """
+
+import pytest
 
 from repro.sim import Compute, SimMachine, Touch, Wait
 from repro.topology import smp12e5
 from repro.util.bitmap import Bitmap
 
 
+def run_ring(core: str = "auto") -> tuple[int, float, dict]:
+    machine = SimMachine(smp12e5(), core=core)
+    bufs = [machine.allocate(1 << 16, f"b{i}") for i in range(32)]
+    events = [machine.event(f"e{i}") for i in range(32)]
+
+    def stage(i):
+        nxt = events[(i + 1) % 32]
+        for _ in range(50):
+            yield Compute(1e4)
+            yield Touch(bufs[i], 4096, write=True)
+            nxt.signal()
+            yield Wait(events[i])
+
+    for i in range(32):
+        machine.add_thread(f"s{i}", stage(i), cpuset=Bitmap.single(2 * i))
+    # Prime the ring so it can spin.
+    events[0].signal()
+    machine.run()
+    return (
+        machine.engine.events_processed,
+        machine.elapsed_cycles,
+        machine.total_counters().snapshot(),
+    )
+
+
 def test_engine_event_throughput(benchmark):
-    def run():
-        machine = SimMachine(smp12e5())
-        bufs = [machine.allocate(1 << 16, f"b{i}") for i in range(32)]
-        events = [machine.event(f"e{i}") for i in range(32)]
-
-        def stage(i):
-            nxt = events[(i + 1) % 32]
-            for _ in range(50):
-                yield Compute(1e4)
-                yield Touch(bufs[i], 4096, write=True)
-                nxt.signal()
-                yield Wait(events[i])
-
-        for i in range(32):
-            machine.add_thread(f"s{i}", stage(i), cpuset=Bitmap.single(2 * i))
-        # Prime the ring so it can spin.
-        events[0].signal()
-        machine.run()
-        return machine.engine.events_processed
-
-    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    events = benchmark.pedantic(lambda: run_ring()[0], rounds=3, iterations=1)
     print(f"\nprocessed {events} engine events per run")
     assert events > 2_000
+
+
+@pytest.mark.simcore
+def test_simcore_smoke():
+    """Both cores drain the ring to identical counters/clock/event count."""
+    batched = run_ring("batched")
+    obj = run_ring("object")
+    assert batched == obj
+    assert batched[0] > 2_000
 
 
 def test_lock_handoff_throughput(benchmark):

@@ -499,9 +499,11 @@ def run_orwl_lk23(
     model: CostModel | None = None,
     seed: int = 0,
     arrays: dict[str, np.ndarray] | None = None,
+    core: str = "auto",
 ) -> RunResult:
     """Build and execute the ORWL LK23 on *topology*."""
-    runtime = Runtime(topology, affinity=affinity, model=model, seed=seed)
+    runtime = Runtime(topology, affinity=affinity, model=model, seed=seed,
+                      core=core)
     build_orwl_lk23(runtime, cfg, arrays)
     return runtime.run()
 
@@ -517,6 +519,7 @@ def run_openmp_lk23(
     model: CostModel | None = None,
     seed: int = 0,
     arrays: dict[str, np.ndarray] | None = None,
+    core: str = "auto",
 ) -> OMPResult:
     """The paper's OpenMP version: ``parallel for`` over row chunks with
     static scheduling, one implicit barrier per iteration.
@@ -530,7 +533,7 @@ def run_openmp_lk23(
     if cfg.execute_data and arrays is None:
         raise ReproError("execute_data requires the input arrays")
     omp = OpenMPRuntime(topology, cfg.n_threads, binding=binding,
-                        model=model, seed=seed)
+                        model=model, seed=seed, core=core)
     n = cfg.n
     bytes_all = n * n * 8
 

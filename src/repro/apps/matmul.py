@@ -145,11 +145,13 @@ def run_orwl_matmul(
     model: CostModel | None = None,
     seed: int = 0,
     data: dict[str, np.ndarray] | None = None,
+    core: str = "auto",
 ) -> RunResult:
     """Build and execute the block-cyclic matmul; see :class:`RunResult`.
 
     ``result.gflops`` is the figure-of-merit of Fig. 5.
     """
-    runtime = Runtime(topology, affinity=affinity, model=model, seed=seed)
+    runtime = Runtime(topology, affinity=affinity, model=model, seed=seed,
+                      core=core)
     build_orwl_matmul(runtime, cfg, data)
     return runtime.run()

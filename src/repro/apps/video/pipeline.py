@@ -376,13 +376,15 @@ def run_orwl_video(
     affinity: bool,
     model: CostModel | None = None,
     seed: int = 0,
+    core: str = "auto",
 ) -> tuple[RunResult, dict]:
     """Execute the ORWL pipeline; returns (result, outputs).
 
     ``outputs["tracks"]`` holds per-frame track summaries in data mode;
     FPS of Fig. 6 is ``cfg.frames / result.seconds``.
     """
-    runtime = Runtime(topology, affinity=affinity, model=model, seed=seed)
+    runtime = Runtime(topology, affinity=affinity, model=model, seed=seed,
+                      core=core)
     out = build_orwl_video(runtime, cfg)
     result = runtime.run()
     return result, out
@@ -425,11 +427,13 @@ def run_openmp_video(
     binding: str | None,
     model: CostModel | None = None,
     seed: int = 0,
+    core: str = "auto",
 ) -> OMPResult:
     """Fork-join variant: per frame, each heavy stage is a parallel_for
     over strips with a barrier — no cross-frame pipelining, master-homed
     buffers (the paper's OpenMP comparison point)."""
-    omp = OpenMPRuntime(topology, n_threads, binding=binding, model=model, seed=seed)
+    omp = OpenMPRuntime(topology, n_threads, binding=binding, model=model,
+                        seed=seed, core=core)
     spec = cfg.spec
     px = spec.pixels
 

@@ -60,6 +60,7 @@ class OpenMPRuntime:
         os_policy: str | None = None,
         seed: int = 0,
         trace: bool = False,
+        core: str = "auto",
     ) -> None:
         """*binding* accepts the standard knobs of
         :func:`repro.openmp.affinity.omp_binding` plus ``"treematch"``,
@@ -75,7 +76,8 @@ class OpenMPRuntime:
         self.n_threads = n_threads
         self.binding = binding
         self.machine = SimMachine(
-            topology, model, os_policy=os_policy, seed=seed, trace=trace
+            topology, model, os_policy=os_policy, seed=seed, trace=trace,
+            core=core,
         )
         if binding == "treematch":
             if comm is None:

@@ -124,13 +124,15 @@ class Runtime:
         os_policy: str | None = None,
         seed: int = 0,
         trace: bool = False,
+        core: str = "auto",
     ) -> None:
         if affinity is None:
             affinity = os.environ.get(AFFINITY_ENV, "0") == "1"
         self.affinity_enabled = bool(affinity)
         self.topology = topology
         self.machine = SimMachine(
-            topology, model, os_policy=os_policy, seed=seed, trace=trace
+            topology, model, os_policy=os_policy, seed=seed, trace=trace,
+            core=core,
         )
         self.tasks: list[Task] = []
         self.operations: list[Operation] = []

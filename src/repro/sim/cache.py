@@ -11,7 +11,7 @@ exploits.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import weakref
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
@@ -22,6 +22,25 @@ from repro.topology.objects import ObjType
 from repro.topology.tree import Topology
 
 __all__ = ["L3State", "CacheSystem", "TouchResult"]
+
+#: topology -> (l3 capacities, pu→l3-index map); see memory._NUMA_TABLES.
+_L3_TABLES: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+
+def _l3_tables(topology: Topology):
+    try:
+        return _L3_TABLES[topology]
+    except KeyError:
+        pass
+    l3_objs = topology.objects_by_type(ObjType.L3)
+    capacities = tuple(obj.cache.size for obj in l3_objs)
+    pu_l3: dict[int, int] = {}
+    for idx, obj in enumerate(l3_objs):
+        for pu in obj.leaves():
+            pu_l3[pu.os_index] = idx
+    tables = (capacities, pu_l3)
+    _L3_TABLES[topology] = tables
+    return tables
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,16 +62,35 @@ class TouchResult:
 
 
 class L3State:
-    """Residency bookkeeping for one last-level cache."""
+    """Residency bookkeeping for one last-level cache.
 
-    __slots__ = ("capacity", "used", "_resident")
+    When wired into a :class:`CacheSystem`, every L3 shares one
+    *presence* map (buffer id → set of L3 indices holding any entry for
+    it). Write invalidation then visits only the caches that actually
+    hold the buffer instead of broadcasting over every L3 of the machine
+    — on the 12-socket testbeds that turns 11 no-op invalidations per
+    written touch into typically zero.
+    """
 
-    def __init__(self, capacity: int) -> None:
+    __slots__ = ("capacity", "used", "index", "presence", "_resident")
+
+    def __init__(
+        self,
+        capacity: int,
+        index: int = 0,
+        presence: dict[int, set[int]] | None = None,
+    ) -> None:
         if capacity <= 0:
             raise SimulationError("L3 capacity must be positive")
         self.capacity = capacity
         self.used = 0
-        self._resident: OrderedDict[int, float] = OrderedDict()
+        self.index = index
+        self.presence = presence if presence is not None else {}
+        # Plain dict as LRU: insertion order is the recency order
+        # (pop+reinsert moves to the tail, next(iter()) is the LRU head)
+        # — same semantics as OrderedDict with cheaper constant factors
+        # on the pump's hot pop/reinsert sequence.
+        self._resident: dict[int, float] = {}
 
     def resident_bytes(self, buf_id: int) -> float:
         return self._resident.get(buf_id, 0.0)
@@ -63,23 +101,40 @@ class L3State:
         current = self._resident.pop(buf_id, 0.0)
         self.used -= current
         target = min(max(current, nbytes), self.capacity)
+        presence = self.presence
         while self.used + target > self.capacity and self._resident:
-            _, evicted = self._resident.popitem(last=False)
+            evicted_id = next(iter(self._resident))
+            evicted = self._resident.pop(evicted_id)
             self.used -= evicted
+            present = presence.get(evicted_id)
+            if present is not None:
+                present.discard(self.index)
         if self.used + target > self.capacity:
             target = self.capacity - self.used
         self._resident[buf_id] = target
         self.used += target
+        presence.setdefault(buf_id, set()).add(self.index)
 
     def touch_lru(self, buf_id: int) -> None:
-        if buf_id in self._resident:
-            self._resident.move_to_end(buf_id)
+        resident = self._resident
+        cur = resident.pop(buf_id, None)
+        if cur is not None:
+            resident[buf_id] = cur
 
     def invalidate(self, buf_id: int) -> None:
-        dropped = self._resident.pop(buf_id, 0.0)
-        self.used -= dropped
+        dropped = self._resident.pop(buf_id, None)
+        if dropped is not None:
+            self.used -= dropped
+            present = self.presence.get(buf_id)
+            if present is not None:
+                present.discard(self.index)
 
     def flush(self) -> None:
+        presence = self.presence
+        for buf_id in self._resident:
+            present = presence.get(buf_id)
+            if present is not None:
+                present.discard(self.index)
         self._resident.clear()
         self.used = 0
 
@@ -96,8 +151,8 @@ class CacheSystem:
 
     __slots__ = (
         "topology", "model", "memory", "_l3s", "_pu_l3", "_pu_numa",
-        "_miss_cost", "_line", "_l3_hit_cycles", "_stall_fraction",
-        "_write_invalidate",
+        "_presence", "_miss_cost", "_line", "_l3_hit_cycles",
+        "_stall_fraction", "_write_invalidate",
     )
 
     def __init__(
@@ -106,14 +161,15 @@ class CacheSystem:
         self.topology = topology
         self.model = model
         self.memory = memory
-        l3_objs = topology.objects_by_type(ObjType.L3)
-        if not l3_objs:
+        capacities, pu_l3 = _l3_tables(topology)
+        if not capacities:
             raise SimulationError("topology has no L3 caches")
-        self._l3s = [L3State(obj.cache.size) for obj in l3_objs]
-        self._pu_l3: dict[int, int] = {}
-        for idx, obj in enumerate(l3_objs):
-            for pu in obj.leaves():
-                self._pu_l3[pu.os_index] = idx
+        self._presence: dict[int, set[int]] = {}
+        self._l3s = [
+            L3State(size, idx, self._presence)
+            for idx, size in enumerate(capacities)
+        ]
+        self._pu_l3 = pu_l3
         # Hot-path caches: shared maps/tables plus scalar model constants.
         self._pu_numa = memory.pu_numa_map
         self._miss_cost = memory.miss_cost_table
@@ -201,7 +257,10 @@ class CacheSystem:
             l3.install(buf.buf_id, min(resident + miss_bytes, float(buf.size)))
             l3.touch_lru(buf.buf_id)
         if write and self._write_invalidate:
-            for idx, other in enumerate(self._l3s):
-                if idx != l3_idx:
-                    other.invalidate(buf.buf_id)
+            present = self._presence.get(buf.buf_id)
+            if present and (len(present) > 1 or l3_idx not in present):
+                l3s = self._l3s
+                for idx in sorted(present):
+                    if idx != l3_idx:
+                        l3s[idx].invalidate(buf.buf_id)
         return result

@@ -5,11 +5,32 @@ live above it in :mod:`repro.sim.machine`. Events at equal times fire in
 scheduling order (a monotonically increasing sequence number breaks ties),
 which keeps every simulation deterministic.
 
+Two queue representations share this module:
+
+:class:`Engine`
+    the *object* queue — a heap of ``(when, seq, callback)`` closures.
+    This is the compatibility path that :mod:`repro.analyze.dynamic`
+    watchers and :class:`~repro.sim.trace.Trace` hook into, and the one
+    external code talks to (``machine.engine.schedule`` keeps working on
+    both paths).
+
+:class:`BatchedQueue`
+    the queue of the machine's *batched core*: a calendar queue that
+    groups events by timestamp into structure-of-arrays buckets
+    (parallel ``seqs``/``kinds``/``payloads`` lists) ordered by a small
+    min-heap of *unique* timestamps. No closure is allocated per event,
+    popping is a list index instead of a heap sift, and a whole
+    same-instant bucket is exactly the batch the quantum-batched
+    dispatcher in :mod:`repro.sim.machine` vectorizes over. The machine
+    selects it automatically whenever no watcher/monitor/trace tap is
+    installed; fixed-seed runs produce bit-identical counters and clocks
+    on either path (see ``tests/test_sim_batched_equivalence.py``).
+
 This is the innermost loop of every experiment cell: a paper-scale
-regeneration drains hundreds of millions of events through :meth:`run`,
-so the class is slotted, and the drain loop binds its hot names locally
-and skips the watcher dispatch entirely while no watcher is registered
-(the common case — watchers exist only for :mod:`repro.analyze.dynamic`).
+regeneration drains hundreds of millions of events through the drain
+loops, so both classes are slotted and the hot loops bind their names
+locally; :meth:`Engine.run` additionally skips the watcher dispatch
+entirely while no watcher is registered.
 """
 
 from __future__ import annotations
@@ -19,7 +40,79 @@ from collections.abc import Callable
 
 from repro.errors import SimulationError
 
-__all__ = ["Engine"]
+__all__ = [
+    "Engine",
+    "BatchedQueue",
+    "EV_CALL",
+    "EV_STEP",
+    "EV_BUSY",
+    "EV_DRAIN",
+]
+
+#: Event kinds of the batched core. The payload is interpreted per kind:
+#: a zero-arg callable (CALL — external ``Engine.schedule`` traffic merged
+#: into the batched run), a SimThread (STEP: resume the generator; BUSY:
+#: its in-flight busy chunk ended), or a SimEvent (DRAIN: release waiters).
+EV_CALL = 0
+EV_STEP = 1
+EV_BUSY = 2
+EV_DRAIN = 3
+
+
+class BatchedQueue:
+    """Calendar-bucket event queue for the batched simulator core.
+
+    Events are grouped by exact timestamp: ``buckets[when]`` is one flat
+    list interleaving ``seq, kind, payload`` triples (stride 3) — most
+    buckets hold a single event, and one 3-element list is a lot cheaper
+    to allocate than three 1-element lists — and :attr:`when_heap` is a
+    min-heap of the *unique* timestamps (plain floats, so sifts compare
+    natively). Sequence numbers are allocated monotonically
+    (``Engine._seq``), therefore append order within a bucket *is* seq
+    order and popping degenerates to indexing a list: no per-event tuple
+    allocation, no per-event heap sift. Events scheduled at the
+    timestamp currently draining land at the tail of the live bucket
+    with higher seqs, so exact ``(when, seq)`` order is preserved for
+    free.
+
+    The hot loop in :mod:`repro.sim.machine` deliberately reaches into
+    :attr:`buckets`/:attr:`when_heap` directly (bound to locals); the
+    methods here are the convenience surface for setup and tests.
+    """
+
+    __slots__ = ("buckets", "when_heap")
+
+    def __init__(self) -> None:
+        #: when -> flat [seq, kind, payload, ...] triples in seq order.
+        self.buckets: dict[float, list] = {}
+        self.when_heap: list[float] = []
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self.buckets.values()) // 3
+
+    def push(self, when: float, seq: int, kind: int, payload) -> None:
+        b = self.buckets.get(when)
+        if b is None:
+            self.buckets[when] = [seq, kind, payload]
+            heapq.heappush(self.when_heap, when)
+        else:
+            b.append(seq)
+            b.append(kind)
+            b.append(payload)
+
+    def peek_when(self) -> float | None:
+        return self.when_heap[0] if self.when_heap else None
+
+    def pop_batch(self) -> tuple[float, list[int], list[int], list] | None:
+        """Remove and return the earliest bucket ``(when, seqs, kinds,
+        payloads)``, or None when empty. Batch semantics are exact: every
+        event the simulation will ever see at this timestamp that was
+        scheduled *before* this call is in the bucket, in seq order."""
+        if not self.when_heap:
+            return None
+        when = heapq.heappop(self.when_heap)
+        b = self.buckets.pop(when)
+        return when, b[0::3], b[1::3], b[2::3]
 
 
 class Engine:

@@ -20,19 +20,41 @@ Execution model: each thread is a generator; CPU-consuming ops (Compute,
 Touch) occupy the thread's PU for a priced duration, chopped at the OS
 timeslice so preemption, hyperthread contention and rebalancing are
 re-evaluated at quantum boundaries. Blocking ops free the PU.
+
+Two run-loop implementations share these semantics:
+
+* the **object path** — the small methods below (`_step`, `_busy_done`,
+  `_dispatch`, …) driven by closure events on :class:`Engine`. This is
+  the compatibility mode that `analyze.dynamic` watchers/monitors,
+  `OSScheduler.on_place` hooks and :class:`Trace` tap into.
+* the **batched core** (:meth:`_run_batched`) — one flat interpreter
+  over a :class:`~repro.sim.engine.BatchedQueue` of scalar kind-coded
+  events, with the Touch/Compute pricing inlined against the
+  precomputed ``(accessor, home)`` cost table and same-instant
+  busy-completion batches advanced in one vectorized pass.
+
+:meth:`run` selects the batched core automatically whenever no tap is
+installed; fixed-seed runs produce bit-identical counters and clocks on
+either path (``tests/test_sim_batched_equivalence.py`` proves it on the
+three paper applications). When editing one path, mirror the other —
+the equivalence tests will catch any drift.
 """
 
 from __future__ import annotations
 
+import heapq
+import weakref
 from collections import deque
 from collections.abc import Iterable
+
+import numpy as np
 
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.cache import CacheSystem
 from repro.sim.counters import Counters
-from repro.sim.engine import Engine
+from repro.sim.engine import EV_BUSY, EV_CALL, EV_DRAIN, EV_STEP, BatchedQueue, Engine
 from repro.sim.memory import Buffer, MemorySystem
-from repro.sim.params import CostModel
+from repro.sim.params import CostModel, SimLimits
 from repro.sim.process import (
     Compute,
     SimEvent,
@@ -52,14 +74,49 @@ from repro.util.rng import make_rng
 
 __all__ = ["SimMachine"]
 
-#: Safety guard: max zero-cost ops a thread may issue without consuming time.
-MAX_OPS_PER_STEP = 100_000
-#: Default event budget for :meth:`SimMachine.run`.
-DEFAULT_MAX_EVENTS = 20_000_000
+#: Back-compat aliases — these limits live in :class:`repro.sim.params.
+#: SimLimits` now; pass ``SimMachine(..., limits=SimLimits(...))`` instead
+#: of monkeypatching these module globals (the machine no longer reads
+#: them after construction).
+MAX_OPS_PER_STEP = SimLimits().max_ops_per_step
+DEFAULT_MAX_EVENTS = SimLimits().max_events
+
+#: topology -> {pu: [hyperthread sibling PUs]} (pure in the topology, and
+#: topology presets are memoized — share across the many machines a sweep
+#: builds instead of re-walking the tree per construction).
+_SIBLING_TABLES: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+
+def _sibling_tables(topology: Topology) -> dict[int, list[int]]:
+    try:
+        return _SIBLING_TABLES[topology]
+    except KeyError:
+        tables = {
+            pu.os_index: [s.os_index for s in topology.siblings_of_pu(pu.os_index)]
+            for pu in topology.pus
+        }
+        _SIBLING_TABLES[topology] = tables
+        return tables
+
+
+#: Op class -> dispatch code for the batched core. Subclasses of the op
+#: types are resolved through isinstance once and then cached here, so
+#: the hot dispatch is a single dict lookup.
+_OP_CODE: dict[type, int] = {
+    Touch: 0,
+    Compute: 1,
+    Wait: 2,
+    Spawn: 3,
+    YieldCPU: 4,
+}
+_OP_BASES = (Touch, Compute, Wait, Spawn, YieldCPU)
 
 
 class SimMachine:
     """A virtual NUMA machine executing simulated threads."""
+
+    #: Run-loop implementations selectable via the ``core`` kwarg.
+    CORES = ("auto", "batched", "object")
 
     def __init__(
         self,
@@ -69,7 +126,13 @@ class SimMachine:
         os_policy: str | None = None,
         seed: int = 0,
         trace: bool = False,
+        core: str = "auto",
+        limits: SimLimits | None = None,
     ) -> None:
+        if core not in self.CORES:
+            raise SimulationError(f"unknown core {core!r}; known: {self.CORES}")
+        self.core = core
+        self.limits = limits or SimLimits()
         self.topology = topology
         self.model = model or CostModel()
         self.engine = Engine()
@@ -94,10 +157,11 @@ class SimMachine:
         self.clock_hz = float(topology.root.attrs.get("clock_hz", 2.6e9))
         self._ready: deque[SimThread] = deque()
         self._pu_last_tid: dict[int, int] = {}
-        self._sibling_pus: dict[int, list[int]] = {
-            pu.os_index: [s.os_index for s in topology.siblings_of_pu(pu.os_index)]
-            for pu in topology.pus
-        }
+        self._sibling_pus = _sibling_tables(topology)
+        #: Set by _run_batched for the duration of the fast drain loop;
+        #: _on_signal routes wakeups through it so signals raised from
+        #: generator code land in the batched queue, not the object heap.
+        self._fast_signal = None
         self._ran = False
 
     # -- construction API ---------------------------------------------------
@@ -150,14 +214,30 @@ class SimMachine:
 
     # -- run loop -------------------------------------------------------------
 
+    def _taps_installed(self) -> bool:
+        """True when any observer hook forces the object path."""
+        return bool(
+            self.engine.watchers
+            or self.monitors
+            or self.trace is not None
+            or self.scheduler.on_place
+        )
+
     def run(
         self,
         *,
         max_cycles: float | None = None,
-        max_events: int = DEFAULT_MAX_EVENTS,
+        max_events: int | None = None,
         allow_incomplete: bool = False,
     ) -> float:
         """Execute until every thread finishes; returns elapsed seconds.
+
+        *max_events* defaults to ``self.limits.max_events``. Core
+        selection: ``core="auto"`` runs the batched core unless a
+        watcher/monitor/trace/on_place tap is installed (taps need the
+        object path's per-event hooks); ``core="object"`` forces the
+        compatibility path; ``core="batched"`` insists and raises if taps
+        make that impossible. Both cores are bit-identical on fixed seeds.
 
         Raises :class:`DeadlockError` if threads remain blocked with an
         empty event queue (unless *allow_incomplete*).
@@ -165,11 +245,23 @@ class SimMachine:
         if self._ran:
             raise SimulationError("SimMachine.run may only be called once")
         self._ran = True
-        for thread in self.threads:
-            if thread.state == "new":
-                self._make_ready(thread)
-        self._dispatch()
-        self.engine.run(max_cycles=max_cycles, max_events=max_events)
+        if max_events is None:
+            max_events = self.limits.max_events
+        tapped = self._taps_installed()
+        if self.core == "batched" and tapped:
+            raise SimulationError(
+                "core='batched' is incompatible with watchers/monitors/"
+                "trace/on_place taps — use core='auto' (falls back to the "
+                "object path) or remove the taps"
+            )
+        if self.core != "object" and not tapped:
+            self._run_batched(max_cycles=max_cycles, max_events=max_events)
+        else:
+            for thread in self.threads:
+                if thread.state == "new":
+                    self._make_ready(thread)
+            self._dispatch()
+            self.engine.run(max_cycles=max_cycles, max_events=max_events)
         leftover = [t for t in self.threads if t.state not in ("done", "unstarted")]
         if leftover and not allow_incomplete and max_cycles is None:
             blocked = ", ".join(
@@ -182,6 +274,804 @@ class SimMachine:
                 f"{len(leftover)} thread(s) never finished: {blocked}"
             )
         return self.elapsed_seconds
+
+    def _run_batched(
+        self, *, max_cycles: float | None, max_events: int | None
+    ) -> None:
+        """The batched core: one flat drain loop over kind-coded events.
+
+        A straight transcription of the object path (`_step`, `_busy_done`,
+        `_dispatch`, …) with everything inlined: no closure per event, op
+        dispatch through `_OP_CODE`, Touch pricing directly against the
+        precomputed miss-cost rows, and same-instant busy-completion
+        batches advanced in one vectorized numpy pass. Must stay
+        *bit-identical* to the object path — same float expressions, same
+        (when, seq) event order, same rng call order. When changing either
+        path, mirror the other; ``tests/test_sim_batched_equivalence.py``
+        is the referee.
+        """
+        eng = self.engine
+        model = self.model
+        limits = self.limits
+        max_ops = limits.max_ops_per_step
+        batch_min = limits.batch_min
+        # Flat buckets interleave seq/kind/payload, so the cheap size
+        # gate compares against 3x the event count.
+        batch_min3 = batch_min * 3
+
+        # -- hoisted model constants and subsystem internals ----------------
+        timeslice = model.timeslice_cycles
+        ts_edge = timeslice - 1e-9
+        rebalance_slices = model.rebalance_slices
+        cpf = model.cycles_per_flop
+        htc = model.ht_contention
+        os_jitter = model.os_jitter
+        ctx_cycles = model.context_switch_cycles
+        mig_cycles = model.migration_cycles
+        cache_line = model.cache_line
+        node_bw = model.node_bandwidth_cyc_per_byte
+        caches = self.caches
+        line = caches._line
+        l3_hit_cy = caches._l3_hit_cycles
+        stall_f = caches._stall_fraction
+        winv = caches._write_invalidate
+        l3s = caches._l3s
+        presence = caches._presence
+        miss_cost = self.memory._miss_cost
+        # PU- and node-keyed dicts flattened to lists for the pump: os
+        # indices are small and dense, and a list index is the cheapest
+        # lookup there is. node_free_at is written back on exit.
+        pu_l3_d = caches._pu_l3
+        pu_l3 = [None] * (max(pu_l3_d) + 1)
+        for _k, _v in pu_l3_d.items():
+            pu_l3[_k] = _v
+        pu_numa_d = self.memory._pu_numa
+        pu_numa = [None] * (max(pu_numa_d) + 1)
+        for _k, _v in pu_numa_d.items():
+            pu_numa[_k] = _v
+        node_free_d = self.memory._node_free_at
+        node_free_at = [node_free_d[i] for i in range(len(node_free_d))]
+        sched = self.scheduler
+        busy_map = sched._busy
+        node_load = sched._node_load
+        place = sched.place
+        rng = self._rng
+        ready = self._ready
+        sibling_pus = self._sibling_pus
+        pu_last_tid = self._pu_last_tid
+        op_code = _OP_CODE
+        cls_touch = Touch
+        cls_compute = Compute
+        cls_wait = Wait
+        cls_spawn = Spawn
+        cls_yield = YieldCPU
+
+        queue = BatchedQueue()
+        buckets = queue.buckets
+        when_heap = queue.when_heap
+        push = heapq.heappush
+        pop = heapq.heappop
+        eheap = eng._heap
+        # The pump below indexes these through plain locals (closures
+        # capture `buckets`/`when_heap` as cells; a second name keeps the
+        # per-op accesses on LOAD_FAST).
+        buckets_l = buckets
+        wheap_l = when_heap
+
+        # sib_compute[pu] = number of *compute* threads currently running
+        # on pu's hyperthread siblings — maintained at occupy/release so
+        # the per-op contention test is one list index instead of a scan
+        # (placements change ~1000x less often than ops are priced).
+        sib_compute = [0] * (max(busy_map) + 1)
+        for pu_i, occupant in busy_map.items():
+            if occupant is not None and occupant.kind == "compute":
+                for sib in sibling_pus[pu_i]:
+                    sib_compute[sib] += 1
+
+        now = eng.now
+        processed = eng._events_processed
+        # run() always normalizes max_events (None -> limits.max_events).
+        budget = processed + max_events
+
+        # -- the object path's helper methods, as flat closures -------------
+        # eng._seq stays the one authoritative sequence counter so events
+        # scheduled externally (engine.schedule from app code) interleave
+        # in exactly the order the object path would give them.
+
+        def make_ready(thread):
+            if thread.state == "done":
+                raise SimulationError(
+                    f"cannot restart finished thread {thread.name}"
+                )
+            thread.state = "ready"
+            ready.append(thread)
+
+        def release_pu(thread):
+            pu = thread.pu
+            if pu is None:
+                raise SimulationError(f"{thread.name} holds no PU")
+            if busy_map[pu] is None:
+                raise SimulationError(f"PU {pu} is not busy")
+            busy_map[pu] = None
+            node_load[pu_numa[pu]] -= 1
+            thread.pu = None
+            if thread.kind == "compute":
+                for sib in sibling_pus[pu]:
+                    sib_compute[sib] -= 1
+
+        def start_on(thread, pu):
+            overhead = 0.0
+            counters = thread.counters
+            if pu_last_tid.get(pu) != thread.tid:
+                counters.context_switches += 1
+                overhead += ctx_cycles
+            last = thread.last_pu
+            if last is not None and last != pu:
+                counters.cpu_migrations += 1
+                overhead += mig_cycles
+            if busy_map[pu] is not None:
+                raise SimulationError(f"PU {pu} already busy")
+            busy_map[pu] = thread
+            node_load[pu_numa[pu]] += 1
+            pu_last_tid[pu] = thread.tid
+            thread.state = "running"
+            thread.pu = pu
+            thread.last_pu = pu
+            if thread.kind == "compute":
+                for sib in sibling_pus[pu]:
+                    sib_compute[sib] += 1
+            eng._seq = s = eng._seq + 1
+            w = now + overhead
+            b = buckets.get(w)
+            if b is None:
+                buckets[w] = [s, EV_STEP, thread]
+                push(when_heap, w)
+            else:
+                b.append(s)
+                b.append(EV_STEP)
+                b.append(thread)
+
+        def dispatch():
+            progressed = True
+            while progressed and ready:
+                progressed = False
+                for _ in range(len(ready)):
+                    thread = ready.popleft()
+                    pu = place(thread, rebalance=thread.needs_rebalance)
+                    if pu is None:
+                        ready.append(thread)
+                        continue
+                    thread.needs_rebalance = False
+                    start_on(thread, pu)
+                    progressed = True
+
+        def advance(thread, cycles):
+            # _run_busy: returns True when the op cost zero cycles and the
+            # caller should keep stepping (fresh op budget, like the object
+            # path's recursion through _step).
+            if cycles <= 0.0:
+                thread.pending_busy = 0.0
+                return True
+            remaining = timeslice - thread.slice_used
+            chunk = cycles if cycles <= remaining else remaining
+            thread.pending_busy = cycles - chunk
+            thread.counters.busy_cycles += chunk
+            thread.cur_chunk = chunk
+            eng._seq = s = eng._seq + 1
+            w = now + chunk
+            b = buckets.get(w)
+            if b is None:
+                buckets[w] = [s, EV_BUSY, thread]
+                push(when_heap, w)
+            else:
+                b.append(s)
+                b.append(EV_BUSY)
+                b.append(thread)
+            return False
+
+        def finish(thread):
+            thread.state = "done"
+            if thread.pu is not None:
+                release_pu(thread)
+            dispatch()
+
+        def drain(event):
+            woke = False
+            waiters = event.waiters
+            while event.count > 0 and waiters:
+                thread = waiters.pop(0)
+                event.count -= 1
+                thread.waiting_on = None
+                make_ready(thread)
+                woke = True
+            if woke:
+                dispatch()
+
+        def fast_signal(event):
+            eng._seq = s = eng._seq + 1
+            b = buckets.get(now)
+            if b is None:
+                buckets[now] = [s, EV_DRAIN, event]
+                push(when_heap, now)
+            else:
+                b.append(s)
+                b.append(EV_DRAIN)
+                b.append(event)
+
+        def busy_boundary(thread):
+            # Quantum expired: account a slice, decide preemption/migration.
+            # Returns True when the thread keeps its PU with no pending
+            # busy work — the caller then resumes its generator (the
+            # inlined pump in the main loop).
+            thread.slices_run = sr = thread.slices_run + 1
+            thread.slice_used = 0.0
+            rebalance_due = (
+                thread.cpuset is None and sr % rebalance_slices == 0
+            )
+            contender = False
+            if ready:
+                pu = thread.pu
+                for t in ready:
+                    cs = t.cpuset
+                    if cs is None or pu in cs:
+                        contender = True
+                        break
+            if rebalance_due or contender:
+                thread.needs_rebalance = rebalance_due
+                release_pu(thread)
+                make_ready(thread)
+                dispatch()
+                return False
+            if thread.pending_busy > 0.0:
+                advance(thread, thread.pending_busy)
+                return False
+            return True
+
+        # -- run ------------------------------------------------------------
+        self._fast_signal = fast_signal
+        # Live-bucket cursor: the flat [seq, kind, payload, ...] list of
+        # the calendar bucket currently draining, an index into it
+        # (stride 3, pointing at the next seq slot), and its timestamp
+        # (`blive` marks it still registered in `buckets` so pushes at
+        # `now` keep landing in its tail).
+        bb: list = []
+        bi = 0
+        bwhen = 0.0
+        blive = False
+        try:
+            for thread in self.threads:
+                if thread.state == "new":
+                    make_ready(thread)
+            dispatch()
+            while True:
+                if bi < len(bb):
+                    # Drain one event of the live bucket: append order is
+                    # seq order (eng._seq is monotonic) and every entry
+                    # shares `now`, so there is no heap sift and no clock
+                    # store per event. Anything processing schedules at
+                    # `now` appends behind `bi` and is drained in turn.
+                    if eheap:
+                        # External engine.schedule traffic: merge into the
+                        # calendar as CALL events. Delays are >= 0 and
+                        # their seqs are fresh, so entries land at the
+                        # live bucket's tail or in future buckets —
+                        # global (when, seq) order is preserved because
+                        # eng._seq is shared.
+                        while eheap:
+                            w, s, fn = pop(eheap)
+                            b = buckets_l.get(w)
+                            if b is None:
+                                buckets_l[w] = [s, EV_CALL, fn]
+                                push(wheap_l, w)
+                            else:
+                                b.append(s)
+                                b.append(EV_CALL)
+                                b.append(fn)
+                    if processed >= budget:
+                        eng._events_processed = processed
+                        raise SimulationError(
+                            f"event budget {max_events} exhausted at "
+                            f"t={now:.3g} — runaway simulation?"
+                        )
+                    ev_kind = bb[bi + 1]
+                    payload = bb[bi + 2]
+                    bi += 3
+                    processed += 1
+                else:
+                    if eheap:
+                        while eheap:
+                            w, s, fn = pop(eheap)
+                            b = buckets_l.get(w)
+                            if b is None:
+                                buckets_l[w] = [s, EV_CALL, fn]
+                                push(wheap_l, w)
+                            else:
+                                b.append(s)
+                                b.append(EV_CALL)
+                                b.append(fn)
+                        if bi < len(bb):
+                            # Zero-delay traffic landed in the live bucket.
+                            continue
+                    if blive:
+                        del buckets_l[bwhen]
+                        blive = False
+                    if not wheap_l:
+                        break
+                    w0 = wheap_l[0]
+                    if max_cycles is not None and w0 > max_cycles:
+                        break
+                    if processed >= budget:
+                        eng._events_processed = processed
+                        raise SimulationError(
+                            f"event budget {max_events} exhausted at "
+                            f"t={now:.3g} — runaway simulation?"
+                        )
+                    pop(wheap_l)
+                    bb = buckets_l[w0]
+                    bi = 0
+                    bwhen = w0
+                    blive = True
+                    now = w0
+                    eng.now = w0
+                    # Vectorized quantum batch: a bucket opening with a
+                    # run of pure busy continuations of bound threads (the
+                    # full-machine steady state: every PU's chunk expiring
+                    # at the same quantum boundary) advances in one numpy
+                    # pass. Eligibility is strict so the scalar semantics
+                    # are provably untouched: no ready contender, no
+                    # rebalance (bound), no generator resumption (pending
+                    # work remains).
+                    if not ready and len(bb) >= batch_min3:
+                        t = bb[2]
+                        if (
+                            bb[1] == EV_BUSY
+                            and t.pending_busy > 0.0
+                            and t.cpuset is not None
+                        ):
+                            k = 1
+                            j = 4  # kind slot of the second triple
+                            n_b = len(bb)
+                            while j < n_b:
+                                if bb[j] != EV_BUSY:
+                                    break
+                                t = bb[j + 1]
+                                if t.cpuset is None or t.pending_busy <= 0.0:
+                                    break
+                                k += 1
+                                j += 3
+                            if k >= batch_min and processed + k <= budget:
+                                threads_b = bb[2:3 * k:3]
+                                cur = np.fromiter(
+                                    (t.cur_chunk for t in threads_b),
+                                    dtype=np.float64, count=k,
+                                )
+                                su = np.fromiter(
+                                    (t.slice_used for t in threads_b),
+                                    dtype=np.float64, count=k,
+                                )
+                                su += cur
+                                boundary = su >= ts_edge
+                                if boundary.any():
+                                    su = np.where(boundary, 0.0, su)
+                                    bl = boundary.tolist()
+                                else:
+                                    bl = None
+                                pend = np.fromiter(
+                                    (t.pending_busy for t in threads_b),
+                                    dtype=np.float64, count=k,
+                                )
+                                chunk = np.minimum(pend, timeslice - su)
+                                su_l = su.tolist()
+                                chunk_l = chunk.tolist()
+                                pend_l = (pend - chunk).tolist()
+                                when_l = (now + chunk).tolist()
+                                s = eng._seq
+                                for i, t in enumerate(threads_b):
+                                    t.slice_used = su_l[i]
+                                    if bl is not None and bl[i]:
+                                        t.slices_run += 1
+                                    t.pending_busy = pend_l[i]
+                                    c = chunk_l[i]
+                                    t.cur_chunk = c
+                                    t.counters.busy_cycles += c
+                                    s += 1
+                                    w = when_l[i]
+                                    b = buckets_l.get(w)
+                                    if b is None:
+                                        buckets_l[w] = [s, EV_BUSY, t]
+                                        push(wheap_l, w)
+                                    else:
+                                        b.append(s)
+                                        b.append(EV_BUSY)
+                                        b.append(t)
+                                eng._seq = s
+                                bi = 3 * k
+                                processed += k
+                    continue
+                if ev_kind == EV_BUSY:
+                    # The hottest kind: a busy chunk ended. Either the
+                    # quantum continues (fall through to the pump) or the
+                    # boundary logic decides preemption/rebalance.
+                    thread = payload
+                    su = thread.slice_used + thread.cur_chunk
+                    if su < ts_edge:
+                        thread.slice_used = su
+                        pb = thread.pending_busy
+                        if pb > 0.0:  # inline advance(): pb > 0 known
+                            remaining = timeslice - su
+                            chunk = pb if pb <= remaining else remaining
+                            thread.pending_busy = pb - chunk
+                            thread.counters.busy_cycles += chunk
+                            thread.cur_chunk = chunk
+                            eng._seq = s2 = eng._seq + 1
+                            w2 = now + chunk
+                            b2 = buckets_l.get(w2)
+                            if b2 is None:
+                                buckets_l[w2] = [s2, EV_BUSY, thread]
+                                push(wheap_l, w2)
+                            else:
+                                b2.append(s2)
+                                b2.append(EV_BUSY)
+                                b2.append(thread)
+                            continue
+                    else:
+                        if not busy_boundary(thread):
+                            continue
+                elif ev_kind == EV_STEP:
+                    thread = payload
+                    pb = thread.pending_busy
+                    if pb > 0.0:  # inline advance(): pb > 0 known
+                        remaining = timeslice - thread.slice_used
+                        chunk = pb if pb <= remaining else remaining
+                        thread.pending_busy = pb - chunk
+                        thread.counters.busy_cycles += chunk
+                        thread.cur_chunk = chunk
+                        eng._seq = s2 = eng._seq + 1
+                        w2 = now + chunk
+                        b2 = buckets_l.get(w2)
+                        if b2 is None:
+                            buckets_l[w2] = [s2, EV_BUSY, thread]
+                            push(wheap_l, w2)
+                        else:
+                            b2.append(s2)
+                            b2.append(EV_BUSY)
+                            b2.append(thread)
+                        continue
+                elif ev_kind == EV_DRAIN:
+                    drain(payload)
+                    continue
+                else:  # EV_CALL
+                    eng._events_processed = processed
+                    payload()
+                    continue
+
+                # ---- op pump: resume the generator and price ops until
+                # one costs cycles. This is `_step` inlined into the main
+                # loop so the hot path runs on this frame's fast locals
+                # with no per-event function call.
+                gen = thread.gen
+                counters = thread.counters
+                is_compute = thread.kind == "compute"
+                ops = 0
+                resets = 0
+                while True:
+                    try:
+                        sv = thread.send_value
+                        if sv is None:
+                            op = next(gen)
+                        else:
+                            thread.send_value = None
+                            op = gen.send(sv)
+                    except StopIteration:
+                        finish(thread)
+                        break
+                    except Exception:
+                        finish(thread)
+                        raise
+                    # Exact-class identity chain first (no ops are subclassed
+                    # anywhere in the tree); the dict only catches user
+                    # subclasses, cached after one isinstance resolution.
+                    cls = op.__class__
+                    if cls is cls_touch:
+                        code = 0
+                    elif cls is cls_compute:
+                        code = 1
+                    elif cls is cls_wait:
+                        code = 2
+                    elif cls is cls_spawn:
+                        code = 3
+                    elif cls is cls_yield:
+                        code = 4
+                    else:
+                        code = op_code.get(cls)
+                        if code is None:
+                            for base in _OP_BASES:
+                                if isinstance(op, base):
+                                    code = op_code[base]
+                                    op_code[cls] = code
+                                    break
+                            else:
+                                raise SimulationError(
+                                    f"{thread.name} yielded unknown op {op!r}"
+                                )
+                    if code == 0:  # Touch
+                        buf = op.buffer
+                        nbytes = op.nbytes
+                        if nbytes is None:
+                            nbytes = buf.size
+                        pu = thread.pu
+                        if nbytes <= 0:
+                            if buf.home_numa is None:
+                                buf.home_numa = pu_numa[pu]
+                            busy = 0.0
+                        else:
+                            # int nbytes/size promote exactly in float
+                            # arithmetic, so no float() conversion: every
+                            # derived quantity is bit-identical.
+                            nb = nbytes
+                            size = buf.size
+                            if nb > size:
+                                nb = size
+                            l3_idx = pu_l3[pu]
+                            l3 = l3s[l3_idx]
+                            buf_id = buf.buf_id
+                            od = l3._resident
+                            resident = od.get(buf_id, 0.0)
+                            if resident >= size:
+                                # Steady-state all-hit touch: the buffer is
+                                # entirely resident (== size exactly — the
+                                # install clamp is min()), so every miss term
+                                # is exactly 0.0 and adding it is the float
+                                # identity; install degenerates to the LRU
+                                # bump. Only hit pricing, write invalidation
+                                # and sibling contention remain.
+                                lines_hit = nb / line
+                                busy = lines_hit * l3_hit_cy
+                                counters.l3_hits += lines_hit
+                                counters.memory_cycles += busy
+                                counters.bytes_touched += nb
+                                cur = od.pop(buf_id)
+                                od[buf_id] = cur
+                                if op.write and winv:
+                                    present = presence.get(buf_id)
+                                    if present and (
+                                        len(present) > 1 or l3_idx not in present
+                                    ):
+                                        for idx in sorted(present):
+                                            if idx != l3_idx:
+                                                l3s[idx].invalidate(buf_id)
+                                if is_compute and sib_compute[pu]:
+                                    busy *= htc
+                            else:
+                                accessor = pu_numa[pu]
+                                home = buf.home_numa
+                                if home is None:
+                                    home = accessor
+                                    buf.home_numa = home
+                                # resident < size in this branch, so the
+                                # object path's >1 clamp cannot fire.
+                                hit_fraction = resident / size
+                                hit_bytes = nb * hit_fraction
+                                miss_bytes = nb - hit_bytes
+                                lines_hit = hit_bytes / line
+                                lines_miss = miss_bytes / line
+                                hit_cycles = lines_hit * l3_hit_cy
+                                miss_cycles = (
+                                    lines_miss * miss_cost[accessor][home]
+                                )
+                                busy = hit_cycles + miss_cycles
+                                counters.l3_hits += lines_hit
+                                counters.l3_misses += lines_miss
+                                counters.stalled_cycles += miss_cycles * stall_f
+                                counters.memory_cycles += busy
+                                counters.bytes_touched += nb
+                                if accessor != home:
+                                    counters.remote_bytes += miss_bytes
+                                cap = l3.capacity
+                                if nb > cap:
+                                    l3.invalidate(buf_id)
+                                    if op.write and winv:
+                                        present = presence.get(buf_id)
+                                        if present and (
+                                            len(present) > 1
+                                            or l3_idx not in present
+                                        ):
+                                            for idx in sorted(present):
+                                                if idx != l3_idx:
+                                                    l3s[idx].invalidate(buf_id)
+                                else:
+                                    inst = resident + miss_bytes
+                                    if inst > size:
+                                        inst = size
+                                    # Inline L3State.install (+touch_lru: the
+                                    # pop/reinsert below already moves buf_id
+                                    # to the LRU tail, so move_to_end is a
+                                    # no-op).
+                                    if inst > cap:
+                                        inst = cap
+                                    cur = resident
+                                    if cur > 0.0:
+                                        del od[buf_id]
+                                    used = l3.used - cur
+                                    tgt = cur if cur >= inst else inst
+                                    if tgt > cap:
+                                        tgt = cap
+                                    while used + tgt > cap and od:
+                                        ev_id = next(iter(od))
+                                        ev_bytes = od.pop(ev_id)
+                                        used -= ev_bytes
+                                        p = presence.get(ev_id)
+                                        if p is not None:
+                                            p.discard(l3_idx)
+                                    if used + tgt > cap:
+                                        tgt = cap - used
+                                    od[buf_id] = tgt
+                                    l3.used = used + tgt
+                                    ps = presence.get(buf_id)
+                                    if ps is None:
+                                        # Fresh singleton: no other L3 can
+                                        # hold the buffer, so a write has
+                                        # nothing to invalidate.
+                                        presence[buf_id] = {l3_idx}
+                                    else:
+                                        ps.add(l3_idx)
+                                        # l3_idx is in ps by construction:
+                                        # the original presence test
+                                        # reduces to len > 1.
+                                        if op.write and winv and len(ps) > 1:
+                                            for idx in sorted(ps):
+                                                if idx != l3_idx:
+                                                    l3s[idx].invalidate(
+                                                        buf_id
+                                                    )
+                                if is_compute and sib_compute[pu]:
+                                    busy *= htc
+                                    extra = htc - 1.0
+                                    counters.l3_misses += (
+                                        miss_bytes / cache_line * extra
+                                    )
+                                    counters.stalled_cycles += (
+                                        miss_cycles * extra * stall_f
+                                    )
+                                if miss_bytes > 0:
+                                    free_at = node_free_at[home]
+                                    start = now if now >= free_at else free_at
+                                    end = start + miss_bytes * node_bw
+                                    node_free_at[home] = end
+                                    queued = end - now - busy
+                                    if queued > 0:
+                                        busy += queued
+                                        counters.stalled_cycles += (
+                                            queued * stall_f
+                                        )
+                                        counters.memory_cycles += queued
+                        if busy > 0.0:  # inline advance()
+                            remaining = timeslice - thread.slice_used
+                            chunk = busy if busy <= remaining else remaining
+                            thread.pending_busy = busy - chunk
+                            counters.busy_cycles += chunk
+                            thread.cur_chunk = chunk
+                            eng._seq = s2 = eng._seq + 1
+                            w2 = now + chunk
+                            b2 = buckets_l.get(w2)
+                            if b2 is None:
+                                buckets_l[w2] = [s2, EV_BUSY, thread]
+                                push(wheap_l, w2)
+                            else:
+                                b2.append(s2)
+                                b2.append(EV_BUSY)
+                                b2.append(thread)
+                            break
+                        thread.pending_busy = 0.0
+                        ops = 0
+                        resets += 1
+                        if resets > max_ops:
+                            raise SimulationError(
+                                f"{thread.name} issued {max_ops} zero-cost "
+                                "ops — livelock?"
+                            )
+                        continue
+                    elif code == 1:  # Compute
+                        flops = op.flops
+                        eff = op.efficiency
+                        cycles = flops * cpf if eff == 1.0 else flops * cpf / eff
+                        if is_compute and sib_compute[thread.pu]:
+                            cycles *= htc
+                        if thread.cpuset is None and os_jitter > 0:
+                            cycles *= 1.0 + rng.uniform(-os_jitter, os_jitter)
+                        counters.flops += flops
+                        counters.compute_cycles += cycles
+                        if cycles > 0.0:  # inline advance()
+                            remaining = timeslice - thread.slice_used
+                            chunk = cycles if cycles <= remaining else remaining
+                            thread.pending_busy = cycles - chunk
+                            counters.busy_cycles += chunk
+                            thread.cur_chunk = chunk
+                            eng._seq = s2 = eng._seq + 1
+                            w2 = now + chunk
+                            b2 = buckets_l.get(w2)
+                            if b2 is None:
+                                buckets_l[w2] = [s2, EV_BUSY, thread]
+                                push(wheap_l, w2)
+                            else:
+                                b2.append(s2)
+                                b2.append(EV_BUSY)
+                                b2.append(thread)
+                            break
+                        thread.pending_busy = 0.0
+                        ops = 0
+                        resets += 1
+                        if resets > max_ops:
+                            raise SimulationError(
+                                f"{thread.name} issued {max_ops} zero-cost "
+                                "ops — livelock?"
+                            )
+                        continue
+                    elif code == 2:  # Wait
+                        event = op.event
+                        if event.count > 0:
+                            event.count -= 1
+                            ops += 1
+                            if ops >= max_ops:
+                                raise SimulationError(
+                                    f"{thread.name} issued {max_ops} "
+                                    "untimed ops — livelock?"
+                                )
+                            continue
+                        thread.state = "blocked"
+                        thread.waiting_on = event
+                        event.waiters.append(thread)
+                        release_pu(thread)
+                        dispatch()
+                        break
+                    elif code == 3:  # Spawn
+                        target = op.thread
+                        if target.state in ("new", "unstarted"):
+                            make_ready(target)
+                        ops += 1
+                        if ops >= max_ops:
+                            raise SimulationError(
+                                f"{thread.name} issued {max_ops} "
+                                "untimed ops — livelock?"
+                            )
+                        continue
+                    else:  # YieldCPU
+                        release_pu(thread)
+                        make_ready(thread)
+                        dispatch()
+                        break
+        finally:
+            self._fast_signal = None
+            eng.now = now
+            eng._events_processed = processed
+            for _i, _v in enumerate(node_free_at):
+                node_free_d[_i] = _v
+            if buckets:
+                # A max_cycles/budget stop (or an app raise mid-bucket) can
+                # leave events in flight: convert them back to object-path
+                # closures so engine.pending, diagnostics and any manual
+                # engine.run() continue to work. The live bucket is still
+                # registered; only its undrained tail is in flight.
+                for w, b_l in buckets.items():
+                    j0 = bi if blive and w == bwhen else 0
+                    for j in range(j0, len(b_l), 3):
+                        ev_kind = b_l[j + 1]
+                        payload = b_l[j + 2]
+                        if ev_kind == EV_CALL:
+                            fn = payload
+                        elif ev_kind == EV_STEP:
+                            fn = (lambda t=payload: self._step(t))
+                        elif ev_kind == EV_BUSY:
+                            fn = (
+                                lambda t=payload: self._busy_done(
+                                    t, t.cur_chunk
+                                )
+                            )
+                        else:
+                            fn = (lambda ev=payload: self._drain_event(ev))
+                        heapq.heappush(eheap, (w, b_l[j], fn))
+                buckets.clear()
+                del when_heap[:]
 
     @property
     def elapsed_cycles(self) -> float:
@@ -227,8 +1117,13 @@ class SimMachine:
 
     def _on_signal(self, event: SimEvent) -> None:
         # Called synchronously from app code; defer wakeups to the engine
-        # so generator execution is never reentrant.
-        self.engine.schedule(0.0, lambda: self._drain_event(event))
+        # so generator execution is never reentrant. While the batched
+        # core is draining, route into its queue instead.
+        fast = self._fast_signal
+        if fast is not None:
+            fast(event)
+        else:
+            self.engine.schedule(0.0, lambda: self._drain_event(event))
 
     def _drain_event(self, event: SimEvent) -> None:
         woke = False
@@ -290,7 +1185,8 @@ class SimMachine:
         if thread.pending_busy > 0.0:
             self._run_busy(thread, thread.pending_busy, resumed=True)
             return
-        for _ in range(MAX_OPS_PER_STEP):
+        max_ops = self.limits.max_ops_per_step
+        for _ in range(max_ops):
             try:
                 if thread.send_value is None:
                     # Plain iterators of ops are accepted alongside
@@ -376,7 +1272,7 @@ class SimMachine:
                 return
             raise SimulationError(f"{thread.name} yielded unknown op {op!r}")
         raise SimulationError(
-            f"{thread.name} issued {MAX_OPS_PER_STEP} untimed ops — livelock?"
+            f"{thread.name} issued {max_ops} untimed ops — livelock?"
         )
 
     def _price_compute(self, thread: SimThread, op: Compute) -> float:

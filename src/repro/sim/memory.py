@@ -8,6 +8,7 @@ what lets bound ORWL tasks keep their locations local.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -18,8 +19,33 @@ from repro.topology.tree import Topology
 
 __all__ = ["Buffer", "MemorySystem"]
 
+#: topology -> (pu→numa map, distance matrix). Topology presets are
+#: memoized module-level singletons, so a per-topology cache turns the
+#: O(tree) walks into one-time costs across the thousands of machines an
+#: experiment sweep constructs. WeakKey so ad-hoc test topologies die.
+_NUMA_TABLES: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
 
-@dataclass(eq=False)
+#: (topology, model) -> precomputed per-(accessor, home) miss-cost rows.
+_MISS_TABLES: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+
+def _numa_tables(topology: Topology):
+    try:
+        return _NUMA_TABLES[topology]
+    except KeyError:
+        pass
+    distance = numa_distance_matrix(topology)
+    distance.setflags(write=False)
+    pu_numa: dict[int, int] = {}
+    for numa_idx, numa in enumerate(topology.numa_nodes):
+        for pu in numa.leaves():
+            pu_numa[pu.os_index] = numa_idx
+    tables = (pu_numa, distance)
+    _NUMA_TABLES[topology] = tables
+    return tables
+
+
+@dataclass(slots=True, eq=False)
 class Buffer:
     """A simulated allocation.
 
@@ -48,26 +74,28 @@ class MemorySystem:
     def __init__(self, topology: Topology, model: CostModel) -> None:
         self.topology = topology
         self.model = model
-        self.distance = numa_distance_matrix(topology)
+        self._pu_numa, self.distance = _numa_tables(topology)
         self._buffers: list[Buffer] = []
         self._node_free_at: dict[int, float] = {
             i: 0.0 for i in range(self.distance.shape[0])
         }
-        # pu os_index -> numa logical index
-        self._pu_numa: dict[int, int] = {}
-        for numa_idx, numa in enumerate(topology.numa_nodes):
-            for pu in numa.leaves():
-                self._pu_numa[pu.os_index] = numa_idx
         if not self._pu_numa:
             raise SimulationError("topology has no NUMA-homed PUs")
         # Precomputed per-(accessor, home) miss cost — the formula below
         # is pure in (distance, model), and CacheSystem.touch consults it
-        # on every priced access, so pay the O(n_numa²) cost once here.
-        n_numa = self.distance.shape[0]
-        self._miss_cost: list[list[float]] = [
-            [self._compute_miss_cycles(a, h) for h in range(n_numa)]
-            for a in range(n_numa)
-        ]
+        # on every priced access, so pay the O(n_numa²) cost once per
+        # (topology, model) pair. The batched core gathers whole rows of
+        # this table at once when pricing a quantum batch.
+        per_model = _MISS_TABLES.setdefault(topology, {})
+        try:
+            self._miss_cost = per_model[model]
+        except KeyError:
+            n_numa = self.distance.shape[0]
+            self._miss_cost = [
+                [self._compute_miss_cycles(a, h) for h in range(n_numa)]
+                for a in range(n_numa)
+            ]
+            per_model[model] = self._miss_cost
 
     # -- allocation ----------------------------------------------------------
 

@@ -45,8 +45,16 @@ __all__ = [
 
 ThreadGen = Generator["Op", Any, None]
 
+# Ops are slotted, identity-compared plain classes rather than
+# dataclasses: applications construct one per simulated operation —
+# hundreds of millions per paper-scale sweep — and the handwritten
+# __init__ skips the generated-init + __post_init__ double call (a
+# frozen dataclass would further pay two object.__setattr__ calls per
+# field). Treat them as immutable all the same; the machine only reads
+# them. Validation stays in __init__ so a bad op raises at construction
+# time, where the application's traceback points at the culprit.
 
-@dataclass(frozen=True)
+
 class Compute:
     """Burn ``flops`` floating-point operations on the current PU.
 
@@ -54,40 +62,71 @@ class Compute:
     ``cycles_per_flop`` (e.g. a DGEMM inner kernel runs at >1).
     """
 
-    flops: float
-    efficiency: float = 1.0
+    __slots__ = ("flops", "efficiency")
 
-    def __post_init__(self) -> None:
-        if self.flops < 0 or self.efficiency <= 0:
+    def __init__(self, flops: float, efficiency: float = 1.0) -> None:
+        if flops < 0 or efficiency <= 0:
             raise SimulationError("flops must be >= 0 and efficiency > 0")
+        self.flops = flops
+        self.efficiency = efficiency
+
+    def __repr__(self) -> str:
+        return f"Compute(flops={self.flops!r}, efficiency={self.efficiency!r})"
 
 
-@dataclass(frozen=True)
 class Touch:
     """Stream ``nbytes`` of ``buffer`` through the cache hierarchy."""
 
-    buffer: "Buffer"
-    nbytes: float | None = None  # None = whole buffer
-    write: bool = False
+    __slots__ = ("buffer", "nbytes", "write")
+
+    def __init__(
+        self,
+        buffer: "Buffer",
+        nbytes: float | None = None,  # None = whole buffer
+        write: bool = False,
+    ) -> None:
+        self.buffer = buffer
+        self.nbytes = nbytes
+        self.write = write
+
+    def __repr__(self) -> str:
+        return (
+            f"Touch(buffer={self.buffer!r}, nbytes={self.nbytes!r}, "
+            f"write={self.write!r})"
+        )
 
 
-@dataclass(frozen=True)
 class Wait:
     """Block until ``event`` has a pending count."""
 
-    event: "SimEvent"
+    __slots__ = ("event",)
+
+    def __init__(self, event: "SimEvent") -> None:
+        self.event = event
+
+    def __repr__(self) -> str:
+        return f"Wait(event={self.event!r})"
 
 
-@dataclass(frozen=True)
 class Spawn:
     """Start another (already-registered) simulated thread."""
 
-    thread: "SimThread"
+    __slots__ = ("thread",)
+
+    def __init__(self, thread: "SimThread") -> None:
+        self.thread = thread
+
+    def __repr__(self) -> str:
+        return f"Spawn(thread={self.thread!r})"
 
 
-@dataclass(frozen=True)
 class YieldCPU:
     """Voluntarily release the PU (cooperative yield)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "YieldCPU()"
 
 
 Op = Compute | Touch | Wait | Spawn | YieldCPU
@@ -128,7 +167,7 @@ class SimEvent:
         return f"<SimEvent {self.name!r} count={self.count} waiters={len(self.waiters)}>"
 
 
-@dataclass(eq=False)
+@dataclass(slots=True, eq=False)
 class SimThread:
     """Machine-side record of one simulated thread."""
 
@@ -145,6 +184,10 @@ class SimThread:
     slices_run: int = 0
     slice_used: float = 0.0
     pending_busy: float = 0.0
+    #: Length of the busy chunk currently in flight. The batched core's
+    #: events carry no payload beyond the thread, so the chunk lives
+    #: here; the object path passes it through the event closure.
+    cur_chunk: float = 0.0
     needs_rebalance: bool = False
     waiting_on: SimEvent | None = None
 

@@ -71,15 +71,18 @@ class OSScheduler:
         if self._busy[pu] is not None:
             raise SimulationError(f"PU {pu} already busy")
         self._busy[pu] = thread
-        self._node_load[self.memory.numa_of_pu(pu)] += 1
-        for hook in self.on_place:
-            hook(pu, thread)
+        self._node_load[self.memory.pu_numa_map[pu]] += 1
+        # Guarded: occupy sits on the hot wakeup path, and the on_place
+        # tap exists only for repro.analyze.dynamic runs.
+        if self.on_place:
+            for hook in self.on_place:
+                hook(pu, thread)
 
     def release(self, pu: int) -> None:
         if self._busy[pu] is None:
             raise SimulationError(f"PU {pu} is not busy")
         self._busy[pu] = None
-        self._node_load[self.memory.numa_of_pu(pu)] -= 1
+        self._node_load[self.memory.pu_numa_map[pu]] -= 1
 
     def thread_on(self, pu: int) -> SimThread | None:
         return self._busy.get(pu)
@@ -101,6 +104,17 @@ class OSScheduler:
         thread.
         """
         if thread.cpuset is not None:
+            # Sticky fast path: a bound thread whose last PU is free and
+            # allowed reuses it without materializing the candidate list
+            # (bound threads never take the wakeup-migrate branch below).
+            last = thread.last_pu
+            if (
+                not rebalance
+                and last is not None
+                and self._busy.get(last) is None
+                and last in thread.cpuset
+            ):
+                return last
             candidates = [p for p in thread.cpuset if self._busy.get(p) is None]
         else:
             candidates = self.free_pus

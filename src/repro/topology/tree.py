@@ -40,6 +40,10 @@ class Topology:
         self._pu_by_os: dict[int, TopoObject] = {p.os_index: p for p in self._pus}
         if len(self._pu_by_os) != len(self._pus):
             raise TopologyError("duplicate PU os_index")
+        # Structure is frozen once finalized, so type queries can be
+        # memoized — simulator/scheduler constructors call numa_nodes and
+        # pus on every machine build, thousands of times per sweep.
+        self._by_type: dict[ObjType, list[TopoObject]] = {}
         self._cores: list[TopoObject] = self.objects_by_type(ObjType.CORE)
 
     def _assign_depths(self) -> None:
@@ -100,7 +104,12 @@ class Topology:
         return list(self._levels[depth])
 
     def objects_by_type(self, obj_type: ObjType) -> list[TopoObject]:
-        return [o for o in self.iter_objects() if o.type is obj_type]
+        try:
+            cached = self._by_type[obj_type]
+        except KeyError:
+            cached = [o for o in self.iter_objects() if o.type is obj_type]
+            self._by_type[obj_type] = cached
+        return list(cached)
 
     def nbobjs_by_type(self, obj_type: ObjType) -> int:
         return len(self.objects_by_type(obj_type))

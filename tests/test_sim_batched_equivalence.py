@@ -1,0 +1,240 @@
+"""Golden-trace equivalence: batched core vs object core, bit for bit.
+
+The batched core (:meth:`SimMachine._run_batched`) is a from-scratch
+rewrite of the simulator hot path; its contract is that a fixed-seed run
+is *bit-identical* to the object path — same counter floats, same final
+clock, same number of events processed, same per-kind split. These tests
+pin that contract on the three paper applications plus targeted machine
+micro-scenarios (quantum batching, unbound-thread rng parity, event
+budgets). Any drift — a reordered float add, a different (when, seq)
+event order, an extra rng draw — shows up here as an exact-compare
+failure, not a tolerance miss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytestmark = pytest.mark.simcore
+
+from repro.apps.lk23 import Lk23Config, run_openmp_lk23, run_orwl_lk23
+from repro.apps.matmul import MatmulConfig, run_orwl_matmul
+from repro.apps.video.pipeline import VideoConfig, run_orwl_video
+from repro.errors import SimulationError
+from repro.sim import Compute, SimMachine, Touch, Wait
+from repro.sim.machine import SimLimits
+from repro.topology import smp12e5, smp20e7
+from repro.util.bitmap import Bitmap
+
+
+def machine_fingerprint(machine: SimMachine) -> dict:
+    """Everything the equivalence contract covers, exact floats included."""
+    return {
+        "counters": machine.total_counters().snapshot(),
+        "compute": machine.counters_by_kind("compute").snapshot(),
+        "control": machine.counters_by_kind("control").snapshot(),
+        "elapsed_cycles": machine.elapsed_cycles,
+        "events_processed": machine.engine.events_processed,
+        "thread_states": [t.state for t in machine.threads],
+    }
+
+
+def assert_identical(fp_object: dict, fp_batched: dict) -> None:
+    # Compare field by field for a readable diff on failure.
+    for key in fp_object:
+        assert fp_batched[key] == fp_object[key], key
+
+
+# -- the three paper applications ------------------------------------------------
+
+
+class TestAppGoldenTraces:
+    @pytest.mark.parametrize("affinity", [False, True])
+    def test_orwl_lk23(self, affinity):
+        cfg = Lk23Config(n=24, iterations=3, n_threads=16)
+        runs = [
+            run_orwl_lk23(smp12e5(), cfg, affinity=affinity, seed=11,
+                          core=core)
+            for core in ("object", "batched")
+        ]
+        assert_identical(*[machine_fingerprint(r.machine) for r in runs])
+
+    @pytest.mark.parametrize("binding", [None, "close"])
+    def test_openmp_lk23(self, binding):
+        cfg = Lk23Config(n=24, iterations=3, n_threads=12)
+        runs = [
+            run_openmp_lk23(smp12e5(), cfg, binding=binding, seed=7,
+                            core=core)
+            for core in ("object", "batched")
+        ]
+        assert_identical(*[machine_fingerprint(r.machine) for r in runs])
+
+    @pytest.mark.parametrize("affinity", [False, True])
+    def test_orwl_matmul(self, affinity):
+        cfg = MatmulConfig(n=48, n_tasks=8)
+        runs = [
+            run_orwl_matmul(smp20e7(), cfg, affinity=affinity, seed=3,
+                            core=core)
+            for core in ("object", "batched")
+        ]
+        assert_identical(*[machine_fingerprint(r.machine) for r in runs])
+
+    @pytest.mark.parametrize("affinity", [False, True])
+    def test_orwl_video(self, affinity):
+        cfg = VideoConfig(resolution="HD", frames=2)
+        runs = [
+            run_orwl_video(smp12e5(), cfg, affinity=affinity, seed=5,
+                           core=core)[0]
+            for core in ("object", "batched")
+        ]
+        assert_identical(*[machine_fingerprint(r.machine) for r in runs])
+
+
+# -- machine-level micro-scenarios ----------------------------------------------
+
+
+def ring_machine(core: str, *, bound: bool, topo=smp12e5, seed: int = 0):
+    machine = SimMachine(topo(), seed=seed, core=core)
+    stages = 24
+    bufs = [machine.allocate(1 << 16, f"b{i}") for i in range(stages)]
+    events = [machine.event(f"e{i}") for i in range(stages)]
+
+    def stage(i):
+        nxt = events[(i + 1) % stages]
+        for _ in range(20):
+            yield Compute(1e4)
+            yield Touch(bufs[i], 4096, write=True)
+            nxt.signal()
+            yield Wait(events[i])
+
+    for i in range(stages):
+        cpuset = Bitmap.single(2 * i) if bound else None
+        machine.add_thread(f"s{i}", stage(i), cpuset=cpuset)
+    events[0].signal()
+    return machine
+
+
+class TestMachineGoldenTraces:
+    @pytest.mark.parametrize("bound", [True, False])
+    def test_ring(self, bound):
+        machines = []
+        for core in ("object", "batched"):
+            m = ring_machine(core, bound=bound)
+            m.run()
+            machines.append(m)
+        assert_identical(*[machine_fingerprint(m) for m in machines])
+
+    def test_unbound_rng_parity_on_spread_policy(self):
+        # smp20e7 defaults to the "spread" policy and unbound threads draw
+        # from the rng (os jitter, wakeup migration) — exercises that both
+        # cores consume the stream in the same order.
+        machines = []
+        for core in ("object", "batched"):
+            m = ring_machine(core, bound=False, topo=smp20e7, seed=17)
+            m.run()
+            machines.append(m)
+        assert_identical(*[machine_fingerprint(m) for m in machines])
+
+    def test_quantum_batch_path(self):
+        # Many bound threads with multi-quantum computes: same-instant
+        # busy-completion buckets larger than batch_min, driving the
+        # vectorized dispatch. Lower batch_min to make the test cheap.
+        def build(core):
+            m = SimMachine(smp12e5(), seed=0, core=core,
+                           limits=SimLimits(batch_min=8))
+            evs = [m.event(f"e{i}") for i in range(64)]
+
+            def worker(i):
+                for _ in range(10):
+                    yield Compute(5e6)
+                    evs[i].signal()
+                    if i:
+                        yield Wait(evs[i - 1])
+
+            for i in range(64):
+                m.add_thread(f"c{i}", worker(i), cpuset=Bitmap.single(i))
+            m.run()
+            return m
+
+        assert_identical(
+            machine_fingerprint(build("object")),
+            machine_fingerprint(build("batched")),
+        )
+
+    def test_oversubscribed_preemption_parity(self):
+        # More runnable threads than PUs in their cpuset: quantum expiry
+        # preempts mid-Compute, so threads re-enter via start_on and the
+        # EV_STEP event fires with pending busy work — a path the
+        # uncontended rings above never reach.
+        def build(core):
+            m = SimMachine(smp12e5(), seed=0, core=core)
+            pus = Bitmap.range(0, 4)
+
+            def worker(i):
+                for _ in range(2):
+                    # 5e7 cycles: spans multiple 2e7-cycle quanta, so the
+                    # boundary preempts with busy work still pending.
+                    yield Compute(1e8)
+
+            for i in range(12):
+                m.add_thread(f"w{i}", worker(i), cpuset=pus)
+            m.run()
+            return m
+
+        assert_identical(
+            machine_fingerprint(build("object")),
+            machine_fingerprint(build("batched")),
+        )
+
+    def test_event_budget_parity(self):
+        # Both cores must stop at exactly the same processed-event count
+        # and leave the same partial clock behind.
+        results = []
+        for core in ("object", "batched"):
+            m = ring_machine(core, bound=True)
+            with pytest.raises(SimulationError, match="event budget"):
+                m.run(max_events=500)
+            results.append(
+                (m.engine.events_processed, m.elapsed_cycles,
+                 m.total_counters().snapshot())
+            )
+        assert results[0] == results[1]
+
+    def test_max_cycles_parity(self):
+        results = []
+        for core in ("object", "batched"):
+            m = ring_machine(core, bound=True)
+            m.run(max_cycles=2e5, allow_incomplete=True)
+            results.append(
+                (m.engine.events_processed, m.elapsed_cycles,
+                 m.total_counters().snapshot())
+            )
+        assert results[0] == results[1]
+
+
+# -- core selection rules --------------------------------------------------------
+
+
+class TestCoreSelection:
+    def test_unknown_core_rejected(self):
+        with pytest.raises(SimulationError, match="unknown core"):
+            SimMachine(smp12e5(), core="vectorized")
+
+    def test_batched_core_refuses_taps(self):
+        m = ring_machine("batched", bound=True)
+        m.engine.watchers.append(lambda now: None)
+        with pytest.raises(SimulationError, match="incompatible"):
+            m.run()
+
+    def test_auto_falls_back_to_object_path_with_taps(self):
+        m = ring_machine("auto", bound=True)
+        seen = []
+        m.engine.watchers.append(lambda now: seen.append(now))
+        m.run()
+        assert seen  # the watcher actually fired — object path ran
+
+    def test_run_is_single_shot(self):
+        m = ring_machine("auto", bound=True)
+        m.run()
+        with pytest.raises(SimulationError, match="only be called once"):
+            m.run()
