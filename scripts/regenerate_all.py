@@ -70,6 +70,22 @@ def main(argv: list[str] | None = None) -> None:
     if code != 0:
         raise SystemExit(code)
 
+    # Differential smoke: a handful of generated programs must run
+    # bit-identically on both simulator cores before we trust hours of
+    # batched-core simulation (tests/harness/difftest.py; the full
+    # 50+-program family runs under pytest as tests/test_sim_difftest.py).
+    import sys
+    from pathlib import Path
+
+    tests_dir = str(Path(__file__).resolve().parent.parent / "tests")
+    if tests_dir not in sys.path:
+        sys.path.insert(0, tests_dir)
+    from harness import difftest
+
+    n = difftest.run_smoke()
+    print(f"difftest smoke: {n} program(s) bit-identical across cores",
+          flush=True)
+
     scale = current_scale()
     chunks: list[str] = [f"# Full regeneration at scale {scale.name!r}", ""]
     raw: dict = {"scale": scale.name}

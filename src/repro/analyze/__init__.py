@@ -59,6 +59,9 @@ class Analysis:
     placement: object = None
     migrations_proved: bool | None = None
     aliases: dict | None = None
+    #: Simulator core the dynamic cross-check executed on ("batched" /
+    #: "object"); None when no dynamic pass ran.
+    dynamic_core: str | None = None
 
     @property
     def report(self) -> Report:
@@ -75,6 +78,10 @@ class Analysis:
     def to_dict(self) -> dict:
         d = self.report.to_dict()
         d["migrations_provably_zero"] = self.migrations_proved
+        if self.dynamic is not None:
+            # Report the core that actually executed instead of implying
+            # the object path unconditionally.
+            d["dynamic_core"] = self.dynamic_core
         return d
 
     def to_text(self) -> str:
@@ -84,6 +91,10 @@ class Analysis:
                 "migrations provably zero: "
                 + ("yes (all threads pinned)" if self.migrations_proved
                    else "no (unbound threads remain)")
+            )
+        if self.dynamic is not None and self.dynamic_core:
+            lines.append(
+                f"dynamic cross-check ran on the {self.dynamic_core} core"
             )
         return "\n".join(lines)
 
@@ -157,6 +168,7 @@ def analyze(
             migrations_proved=analysis.migrations_proved,
         ))
         analysis.dynamic = dyn
+        analysis.dynamic_core = result.core
     return analysis
 
 

@@ -2,14 +2,18 @@
 
 The static analyzers reason about probed patterns; this module executes
 the real program on the discrete-event machine with a monitor attached
-to the three taps the simulator exposes:
+to two taps the simulator serves on *both* run-loop cores:
 
 * ``SimMachine.monitors`` — every ``Touch`` is observed together with
   the operation's *runtime* lockset (the handles actually held at that
   virtual instant), every block and finish is counted;
 * ``OSScheduler.on_place`` — every PU occupation, from which observed
-  placements and migrations are derived independently of the counters;
-* ``Engine.watchers`` — event/time progress, for the run summary.
+  placements and migrations are derived independently of the counters.
+
+Event/time progress for the run summary is read off the engine after
+the run (an ``Engine.watchers`` per-event callback would force the
+slow object path); :attr:`DynamicResult.core` records which core
+actually executed — normally ``"batched"``.
 
 ``cross_check`` then reconciles: a statically predicted deadlock that
 manifests as a :class:`DeadlockError` (or a predicted race observed as
@@ -61,6 +65,8 @@ class DynamicMonitor:
         self.placements: dict[int, list[int]] = {}
         self.blocks = 0
         self.finished = 0
+        #: Progress totals, filled from the engine after the run (not a
+        #: per-event watcher — that would force the object path).
         self.last_time = 0.0
         self.steps = 0
 
@@ -100,12 +106,6 @@ class DynamicMonitor:
         hist = self.placements.setdefault(thread.tid, [])
         if not hist or hist[-1] != pu:
             hist.append(pu)
-
-    # -- Engine watcher ---------------------------------------------------------
-
-    def on_step(self, now: float) -> None:
-        self.steps += 1
-        self.last_time = now
 
     # -- derived observations ----------------------------------------------------
 
@@ -149,6 +149,9 @@ class DynamicResult:
     migrations: int = 0
     seconds: float = 0.0
     monitor: DynamicMonitor | None = None
+    #: Which simulator core executed the monitored run ("batched" unless
+    #: something forced the object path).
+    core: str = ""
 
 
 def run_dynamic(
@@ -163,7 +166,6 @@ def run_dynamic(
     machine = rt.machine
     machine.monitors.append(monitor)
     machine.scheduler.on_place.append(monitor.on_place)
-    machine.engine.watchers.append(monitor.on_step)
 
     completed = deadlocked = budget_exhausted = False
     error = ""
@@ -178,6 +180,8 @@ def run_dynamic(
     except SimulationError as exc:
         budget_exhausted = True
         error = str(exc)
+    monitor.steps = machine.engine.events_processed
+    monitor.last_time = machine.engine.now
 
     blocked = [
         t.name
@@ -196,6 +200,7 @@ def run_dynamic(
         migrations=migrations,
         seconds=seconds,
         monitor=monitor,
+        core=machine.core_used or "",
     )
 
 

@@ -12,6 +12,7 @@ Installed as ``repro-paper`` (see pyproject.toml)::
     repro-paper map --machine SMP20E7 --threads 4096   # TreeMatch placement
     repro-paper lint lk23 --dynamic          # static + dynamic verifier
     repro-paper lint --all --json            # machine-readable findings
+    repro-paper trace lk23 --out trace.json  # Chrome trace_event export
 
 Scale selection follows ``REPRO_SCALE`` (quick | paper); worker count
 defaults to ``REPRO_JOBS`` and cache behaviour to ``REPRO_CACHE`` /
@@ -107,6 +108,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit findings as JSON")
     p_lint.add_argument("--dynamic", action="store_true",
                         help="cross-check against a monitored execution")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run an app with the ring trace and export Chrome trace_event "
+             "JSON (see docs/OBSERVABILITY.md)",
+    )
+    p_trace.add_argument("app",
+                         help="application to trace (lk23, matmul, video)")
+    p_trace.add_argument("--out", default=None,
+                         help="output file (default: JSON to stdout)")
+    p_trace.add_argument("--capacity", type=int, default=65536,
+                         help="ring-buffer capacity in records "
+                              "(default: 65536)")
+    p_trace.add_argument("--sample-busy", type=int, default=16,
+                         help="keep 1-in-N busy-completion records "
+                              "(0 drops them, 1 keeps all; default: 16)")
+    p_trace.add_argument("--core", default="auto",
+                         help="simulator core: auto, batched, object")
     return parser
 
 
@@ -333,6 +352,45 @@ def _cmd_lint(
     return "\n\n".join(a.to_text() for a in analyses), code
 
 
+def _cmd_trace(
+    app: str, out: str | None, capacity: int, sample_busy: int, core: str
+) -> str:
+    """Execute *app* with a ring trace attached, export Chrome JSON."""
+    import json
+
+    from repro.analyze.apps import app_builder
+    from repro.sim.machine import SimMachine
+    from repro.sim.observe import RingTrace, SimObserver
+
+    if core not in SimMachine.CORES:
+        raise ReproError(
+            f"unknown core {core!r} (choose from {', '.join(SimMachine.CORES)})"
+        )
+    if capacity < 1:
+        raise ReproError(f"--capacity must be >= 1, got {capacity}")
+    if sample_busy < 0:
+        raise ReproError(f"--sample-busy must be >= 0, got {sample_busy}")
+
+    rt = app_builder(app)()
+    rt.machine.core = core
+    obs = SimObserver(
+        trace=RingTrace(capacity=capacity, sample={"busy": sample_busy})
+    )
+    rt.machine.attach_observer(obs)
+    rt.run()
+
+    payload = json.dumps(obs.chrome_trace(), indent=1)
+    if out is None:
+        return payload
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(payload + "\n")
+    ring = obs.ring
+    return (
+        f"{app}: {ring.recorded} record(s) kept, {ring.dropped} dropped "
+        f"({rt.machine.core_used} core) -> {out}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     code = 0
@@ -356,6 +414,9 @@ def main(argv: list[str] | None = None) -> int:
             out = _cmd_dfg()
         elif args.command == "lint":
             out, code = _cmd_lint(args.app, args.all, args.json, args.dynamic)
+        elif args.command == "trace":
+            out = _cmd_trace(args.app, args.out, args.capacity,
+                             args.sample_busy, args.core)
         else:  # pragma: no cover - argparse enforces choices
             raise ReproError(f"unknown command {args.command!r}")
     except ReproError as exc:

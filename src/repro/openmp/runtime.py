@@ -61,6 +61,7 @@ class OpenMPRuntime:
         seed: int = 0,
         trace: bool = False,
         core: str = "auto",
+        observer=None,
     ) -> None:
         """*binding* accepts the standard knobs of
         :func:`repro.openmp.affinity.omp_binding` plus ``"treematch"``,
@@ -77,7 +78,7 @@ class OpenMPRuntime:
         self.binding = binding
         self.machine = SimMachine(
             topology, model, os_policy=os_policy, seed=seed, trace=trace,
-            core=core,
+            core=core, observer=observer,
         )
         if binding == "treematch":
             if comm is None:

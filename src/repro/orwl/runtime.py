@@ -125,6 +125,7 @@ class Runtime:
         seed: int = 0,
         trace: bool = False,
         core: str = "auto",
+        observer=None,
     ) -> None:
         if affinity is None:
             affinity = os.environ.get(AFFINITY_ENV, "0") == "1"
@@ -132,7 +133,7 @@ class Runtime:
         self.topology = topology
         self.machine = SimMachine(
             topology, model, os_policy=os_policy, seed=seed, trace=trace,
-            core=core,
+            core=core, observer=observer,
         )
         self.tasks: list[Task] = []
         self.operations: list[Operation] = []

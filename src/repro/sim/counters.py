@@ -67,6 +67,14 @@ class Counters:
         total = self.l3_misses + self.l3_hits
         return self.l3_misses / total if total else 0.0
 
+    @property
+    def local_bytes(self) -> float:
+        """Bytes served without crossing a NUMA link (the complement of
+        :attr:`remote_bytes` — together they are the miss-mix the
+        observability layer exports)."""
+        local = self.bytes_touched - self.remote_bytes
+        return local if local > 0.0 else 0.0
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"<Counters misses={self.l3_misses:.3g} stalls={self.stalled_cycles:.3g} "

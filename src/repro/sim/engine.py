@@ -9,10 +9,11 @@ Two queue representations share this module:
 
 :class:`Engine`
     the *object* queue — a heap of ``(when, seq, callback)`` closures.
-    This is the compatibility path that :mod:`repro.analyze.dynamic`
-    watchers and :class:`~repro.sim.trace.Trace` hook into, and the one
-    external code talks to (``machine.engine.schedule`` keeps working on
-    both paths).
+    This is the compatibility path, and the one external code talks to
+    (``machine.engine.schedule`` keeps working on both paths). Its
+    per-event :attr:`Engine.watchers` callback is the only tap that
+    still requires it — monitors, traces and the
+    :mod:`repro.sim.observe` layer run natively on either path.
 
 :class:`BatchedQueue`
     the queue of the machine's *batched core*: a calendar queue that
@@ -22,7 +23,7 @@ Two queue representations share this module:
     popping is a list index instead of a heap sift, and a whole
     same-instant bucket is exactly the batch the quantum-batched
     dispatcher in :mod:`repro.sim.machine` vectorizes over. The machine
-    selects it automatically whenever no watcher/monitor/trace tap is
+    selects it automatically whenever no ``Engine.watchers`` tap is
     installed; fixed-seed runs produce bit-identical counters and clocks
     on either path (see ``tests/test_sim_batched_equivalence.py``).
 
@@ -126,8 +127,10 @@ class Engine:
         self._seq = 0
         self._events_processed = 0
         #: Observers called as ``watcher(now)`` after every processed
-        #: event — the dynamic-analysis tap (see repro.analyze.dynamic).
-        #: Keep them cheap: they run inside the hot loop. Register them
+        #: event. Keep them cheap: they run inside the hot loop. This is
+        #: the one tap the batched core cannot serve (it forces the
+        #: object path — see SimMachine._unsupported_taps); prefer the
+        #: repro.sim.observe layer, which works on both cores. Register
         #: before :meth:`run`; the drain loop snapshots the list object.
         self.watchers: list[Callable[[float], None]] = []
 

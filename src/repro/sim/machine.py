@@ -24,20 +24,28 @@ re-evaluated at quantum boundaries. Blocking ops free the PU.
 Two run-loop implementations share these semantics:
 
 * the **object path** — the small methods below (`_step`, `_busy_done`,
-  `_dispatch`, …) driven by closure events on :class:`Engine`. This is
-  the compatibility mode that `analyze.dynamic` watchers/monitors,
-  `OSScheduler.on_place` hooks and :class:`Trace` tap into.
+  `_dispatch`, …) driven by closure events on :class:`Engine`.
 * the **batched core** (:meth:`_run_batched`) — one flat interpreter
   over a :class:`~repro.sim.engine.BatchedQueue` of scalar kind-coded
   events, with the Touch/Compute pricing inlined against the
   precomputed ``(accessor, home)`` cost table and same-instant
   busy-completion batches advanced in one vectorized pass.
 
-:meth:`run` selects the batched core automatically whenever no tap is
-installed; fixed-seed runs produce bit-identical counters and clocks on
-either path (``tests/test_sim_batched_equivalence.py`` proves it on the
-three paper applications). When editing one path, mirror the other —
-the equivalence tests will catch any drift.
+Observability works on **both** paths: ``SimMachine.monitors``,
+:class:`Trace`, ``OSScheduler.on_place`` and a
+:class:`~repro.sim.observe.SimObserver` (metrics registry + sampled ring
+trace) are instrumented natively in the batched interpreter. The one tap
+that still forces the object path is ``Engine.watchers`` — a callback
+after *every* processed event is exactly the per-event dispatch the
+batched core exists to eliminate.
+
+:meth:`run` selects the batched core automatically whenever no watcher
+is installed; fixed-seed runs produce bit-identical counters and clocks
+on either path, with or without taps
+(``tests/test_sim_batched_equivalence.py`` and
+``tests/test_sim_difftest.py`` prove it on the three paper
+applications plus a generated program family). When editing one path,
+mirror the other — the equivalence tests will catch any drift.
 """
 
 from __future__ import annotations
@@ -54,6 +62,18 @@ from repro.sim.cache import CacheSystem
 from repro.sim.counters import Counters
 from repro.sim.engine import EV_BUSY, EV_CALL, EV_DRAIN, EV_STEP, BatchedQueue, Engine
 from repro.sim.memory import Buffer, MemorySystem
+from repro.sim.observe import (
+    KIND_BY_NAME,
+    QUEUE_DEPTH_BUCKETS,
+    TR_BLOCK,
+    TR_BUSY,
+    TR_CRASH,
+    TR_DONE,
+    TR_PREEMPT,
+    TR_READY,
+    TR_RUN,
+    SimObserver,
+)
 from repro.sim.params import CostModel, SimLimits
 from repro.sim.process import (
     Compute,
@@ -128,6 +148,7 @@ class SimMachine:
         trace: bool = False,
         core: str = "auto",
         limits: SimLimits | None = None,
+        observer: SimObserver | None = None,
     ) -> None:
         if core not in self.CORES:
             raise SimulationError(f"unknown core {core!r}; known: {self.CORES}")
@@ -154,6 +175,12 @@ class SimMachine:
         #: when present. Empty for normal runs — zero overhead.
         self.monitors: list = []
         self.trace: Trace | None = Trace() if trace else None
+        #: Optional metrics/ring-trace observer (repro.sim.observe); works
+        #: on both cores. Set here or via :meth:`attach_observer`.
+        self.observer: SimObserver | None = observer
+        #: Which run loop :meth:`run` actually executed ("batched" or
+        #: "object"); None before run().
+        self.core_used: str | None = None
         self.clock_hz = float(topology.root.attrs.get("clock_hz", 2.6e9))
         self._ready: deque[SimThread] = deque()
         self._pu_last_tid: dict[int, int] = {}
@@ -212,16 +239,31 @@ class SimMachine:
             validate_cpuset(self.topology, cpuset)
         thread.cpuset = cpuset
 
+    def attach_observer(self, observer: SimObserver) -> SimObserver:
+        """Attach a metrics/trace observer before :meth:`run`.
+
+        Constructor-kwarg alternative for machines built indirectly (the
+        app builders construct runtimes that own their machine).
+        """
+        if self._ran:
+            raise SimulationError("cannot attach an observer after run()")
+        if self.observer is not None and self.observer is not observer:
+            raise SimulationError("machine already has an observer attached")
+        self.observer = observer
+        return observer
+
     # -- run loop -------------------------------------------------------------
 
-    def _taps_installed(self) -> bool:
-        """True when any observer hook forces the object path."""
-        return bool(
-            self.engine.watchers
-            or self.monitors
-            or self.trace is not None
-            or self.scheduler.on_place
-        )
+    def _unsupported_taps(self) -> list[str]:
+        """Tap kinds only the object path can serve.
+
+        monitors, :class:`Trace` and ``scheduler.on_place`` are
+        instrumented natively in both cores; ``engine.watchers`` — a
+        callback after *every* processed event — is exactly the
+        per-event dispatch the batched core optimizes away, so it alone
+        still forces the object path.
+        """
+        return ["engine.watchers"] if self.engine.watchers else []
 
     def run(
         self,
@@ -233,11 +275,14 @@ class SimMachine:
         """Execute until every thread finishes; returns elapsed seconds.
 
         *max_events* defaults to ``self.limits.max_events``. Core
-        selection: ``core="auto"`` runs the batched core unless a
-        watcher/monitor/trace/on_place tap is installed (taps need the
-        object path's per-event hooks); ``core="object"`` forces the
-        compatibility path; ``core="batched"`` insists and raises if taps
-        make that impossible. Both cores are bit-identical on fixed seeds.
+        selection: ``core="auto"`` runs the batched core unless an
+        ``engine.watchers`` tap is installed (the one tap that needs the
+        object path's per-event callback); ``core="object"`` forces the
+        compatibility path; ``core="batched"`` insists and raises if a
+        watcher makes that impossible. monitors/trace/on_place taps and
+        :class:`~repro.sim.observe.SimObserver` run natively on either
+        core. Both cores are bit-identical on fixed seeds;
+        :attr:`core_used` records which one executed.
 
         Raises :class:`DeadlockError` if threads remain blocked with an
         empty event queue (unless *allow_incomplete*).
@@ -247,21 +292,33 @@ class SimMachine:
         self._ran = True
         if max_events is None:
             max_events = self.limits.max_events
-        tapped = self._taps_installed()
-        if self.core == "batched" and tapped:
+        unsupported = self._unsupported_taps()
+        if self.core == "batched" and unsupported:
             raise SimulationError(
-                "core='batched' is incompatible with watchers/monitors/"
-                "trace/on_place taps — use core='auto' (falls back to the "
-                "object path) or remove the taps"
+                f"core='batched' is incompatible with the "
+                f"{', '.join(unsupported)} tap — a per-event callback only "
+                "exists on the object path; use core='auto'/'object', or "
+                "the repro.sim.observe layer which works on both cores"
             )
-        if self.core != "object" and not tapped:
-            self._run_batched(max_cycles=max_cycles, max_events=max_events)
-        else:
-            for thread in self.threads:
-                if thread.state == "new":
-                    self._make_ready(thread)
-            self._dispatch()
-            self.engine.run(max_cycles=max_cycles, max_events=max_events)
+        use_batched = self.core != "object" and not unsupported
+        self.core_used = "batched" if use_batched else "object"
+        observer = self.observer
+        if observer is not None:
+            observer.begin(self)
+        try:
+            if use_batched:
+                self._run_batched(max_cycles=max_cycles, max_events=max_events)
+            else:
+                for thread in self.threads:
+                    if thread.state == "new":
+                        self._make_ready(thread)
+                self._dispatch()
+                self.engine.run(max_cycles=max_cycles, max_events=max_events)
+        finally:
+            # Fold on every exit so deadlocked/budget-stopped runs are
+            # still observable (the registry reports partial progress).
+            if observer is not None:
+                observer.fold(self)
         leftover = [t for t in self.threads if t.state not in ("done", "unstarted")]
         if leftover and not allow_incomplete and max_cycles is None:
             blocked = ", ".join(
@@ -346,6 +403,53 @@ class SimMachine:
         cls_spawn = Spawn
         cls_yield = YieldCPU
 
+        # -- observability taps, bound to locals ----------------------------
+        # Every instrumentation site below is a pure read/accumulate, so a
+        # tapped run cannot perturb pricing, rng order or event order
+        # (bit-identical across tap configurations). Metric sites update
+        # flat arrays *unconditionally* — without a tap the increments
+        # land in throwaway arrays, which beats a per-site branch on the
+        # tapped path and costs <1% on the untapped one. Ring/trace
+        # records keep their guards: a call per transition is worth
+        # skipping.
+        monitors = self.monitors
+        notify_monitors = self._notify_monitors
+        trace_tap = self.trace
+        trace_rec = trace_tap.record if trace_tap is not None else None
+        on_place = sched.on_place or None
+        obs = self.observer
+        ring_add = None
+        # The busy kind fires once per completed chunk — far hotter than
+        # every scheduling transition combined — so its sampling countdown
+        # is inlined here instead of paying a closure call per rejection.
+        # ring_cd is RingTrace._countdown itself (shared state), so mixing
+        # inlined and closure-side sampling stays coherent.
+        ring_add_raw = None
+        ring_busy_period = 0
+        ring_cd = None
+        obs_pu_busy = obs_kinds = obs_depths = obs_preempts = None
+        if obs is not None:
+            obs_pu_busy = obs.pu_busy
+            obs_kinds = obs.kind_counts
+            obs_depths = obs.queue_depths
+            obs_preempts = obs.preempts
+            if obs.ring is not None:
+                ring_add = obs.ring.add
+                ring_add_raw = obs.ring.add_raw
+                ring_busy_period = obs.ring._period[TR_BUSY]
+                ring_cd = obs.ring._countdown
+        if obs_pu_busy is None:
+            obs_pu_busy = [0.0] * (
+                max(p.os_index for p in self.topology.pus) + 1
+            )
+        if obs_kinds is None:
+            obs_kinds = [0] * 4
+        if obs_depths is None:
+            obs_depths = [0] * QUEUE_DEPTH_BUCKETS
+        if obs_preempts is None:
+            obs_preempts = [0]
+        depth_last = QUEUE_DEPTH_BUCKETS - 1
+
         queue = BatchedQueue()
         buckets = queue.buckets
         when_heap = queue.when_heap
@@ -385,6 +489,10 @@ class SimMachine:
                 )
             thread.state = "ready"
             ready.append(thread)
+            if trace_rec is not None:
+                trace_rec(now, thread.tid, "ready", "")
+            if ring_add is not None:
+                ring_add(TR_READY, now, thread.tid, thread.pu)
 
         def release_pu(thread):
             pu = thread.pu
@@ -413,10 +521,19 @@ class SimMachine:
                 raise SimulationError(f"PU {pu} already busy")
             busy_map[pu] = thread
             node_load[pu_numa[pu]] += 1
+            if on_place is not None:
+                # Mirrors OSScheduler.occupy: hooks fire with the busy map
+                # already updated, before the run transition is recorded.
+                for hook in on_place:
+                    hook(pu, thread)
             pu_last_tid[pu] = thread.tid
             thread.state = "running"
             thread.pu = pu
             thread.last_pu = pu
+            if trace_rec is not None:
+                trace_rec(now, thread.tid, "run", f"pu={pu}")
+            if ring_add is not None:
+                ring_add(TR_RUN, now, thread.tid, pu)
             if thread.kind == "compute":
                 for sib in sibling_pus[pu]:
                     sib_compute[sib] += 1
@@ -432,6 +549,8 @@ class SimMachine:
                 b.append(thread)
 
         def dispatch():
+            d = len(ready)
+            obs_depths[d if d < depth_last else depth_last] += 1
             progressed = True
             while progressed and ready:
                 progressed = False
@@ -456,6 +575,7 @@ class SimMachine:
             chunk = cycles if cycles <= remaining else remaining
             thread.pending_busy = cycles - chunk
             thread.counters.busy_cycles += chunk
+            obs_pu_busy[thread.pu] += chunk
             thread.cur_chunk = chunk
             eng._seq = s = eng._seq + 1
             w = now + chunk
@@ -469,8 +589,15 @@ class SimMachine:
                 b.append(thread)
             return False
 
-        def finish(thread):
+        def finish(thread, crashed=False):
             thread.state = "done"
+            if monitors:
+                notify_monitors("on_finish", thread)
+            if trace_rec is not None:
+                trace_rec(now, thread.tid, "crash" if crashed else "done", "")
+            if ring_add is not None:
+                ring_add(TR_CRASH if crashed else TR_DONE, now, thread.tid,
+                         thread.pu)
             if thread.pu is not None:
                 release_pu(thread)
             dispatch()
@@ -518,6 +645,11 @@ class SimMachine:
                         break
             if rebalance_due or contender:
                 thread.needs_rebalance = rebalance_due
+                obs_preempts[0] += 1
+                if trace_rec is not None:
+                    trace_rec(now, thread.tid, "preempt", "")
+                if ring_add is not None:
+                    ring_add(TR_PREEMPT, now, thread.tid, thread.pu)
                 release_pu(thread)
                 make_ready(thread)
                 dispatch()
@@ -577,6 +709,7 @@ class SimMachine:
                     payload = bb[bi + 2]
                     bi += 3
                     processed += 1
+                    obs_kinds[ev_kind] += 1
                 else:
                     if eheap:
                         while eheap:
@@ -667,6 +800,25 @@ class SimMachine:
                                 when_l = (now + chunk).tolist()
                                 s = eng._seq
                                 for i, t in enumerate(threads_b):
+                                    if ring_busy_period:
+                                        # Same interleave as the scalar
+                                        # EV_BUSY handler: record, then
+                                        # process, per completion.
+                                        if ring_busy_period == 1:
+                                            ring_add_raw(
+                                                TR_BUSY, now, t.tid, t.pu
+                                            )
+                                        else:
+                                            left = ring_cd[TR_BUSY] - 1
+                                            if left:
+                                                ring_cd[TR_BUSY] = left
+                                            else:
+                                                ring_cd[TR_BUSY] = (
+                                                    ring_busy_period
+                                                )
+                                                ring_add_raw(
+                                                    TR_BUSY, now, t.tid, t.pu
+                                                )
                                     t.slice_used = su_l[i]
                                     if bl is not None and bl[i]:
                                         t.slices_run += 1
@@ -674,6 +826,7 @@ class SimMachine:
                                     c = chunk_l[i]
                                     t.cur_chunk = c
                                     t.counters.busy_cycles += c
+                                    obs_pu_busy[t.pu] += c
                                     s += 1
                                     w = when_l[i]
                                     b = buckets_l.get(w)
@@ -687,12 +840,25 @@ class SimMachine:
                                 eng._seq = s
                                 bi = 3 * k
                                 processed += k
+                                obs_kinds[EV_BUSY] += k
                     continue
                 if ev_kind == EV_BUSY:
                     # The hottest kind: a busy chunk ended. Either the
                     # quantum continues (fall through to the pump) or the
                     # boundary logic decides preemption/rebalance.
                     thread = payload
+                    if ring_busy_period:
+                        if ring_busy_period == 1:
+                            ring_add_raw(TR_BUSY, now, thread.tid, thread.pu)
+                        else:
+                            left = ring_cd[TR_BUSY] - 1
+                            if left:
+                                ring_cd[TR_BUSY] = left
+                            else:
+                                ring_cd[TR_BUSY] = ring_busy_period
+                                ring_add_raw(
+                                    TR_BUSY, now, thread.tid, thread.pu
+                                )
                     su = thread.slice_used + thread.cur_chunk
                     if su < ts_edge:
                         thread.slice_used = su
@@ -702,6 +868,7 @@ class SimMachine:
                             chunk = pb if pb <= remaining else remaining
                             thread.pending_busy = pb - chunk
                             thread.counters.busy_cycles += chunk
+                            obs_pu_busy[thread.pu] += chunk
                             thread.cur_chunk = chunk
                             eng._seq = s2 = eng._seq + 1
                             w2 = now + chunk
@@ -725,6 +892,7 @@ class SimMachine:
                         chunk = pb if pb <= remaining else remaining
                         thread.pending_busy = pb - chunk
                         thread.counters.busy_cycles += chunk
+                        obs_pu_busy[thread.pu] += chunk
                         thread.cur_chunk = chunk
                         eng._seq = s2 = eng._seq + 1
                         w2 = now + chunk
@@ -766,7 +934,7 @@ class SimMachine:
                         finish(thread)
                         break
                     except Exception:
-                        finish(thread)
+                        finish(thread, True)
                         raise
                     # Exact-class identity chain first (no ops are subclassed
                     # anywhere in the tree); the dict only catches user
@@ -799,6 +967,12 @@ class SimMachine:
                         nbytes = op.nbytes
                         if nbytes is None:
                             nbytes = buf.size
+                        if monitors:
+                            # Same observation point as _step: the request
+                            # size before clamping, priced right after.
+                            notify_monitors(
+                                "on_touch", thread, buf, nbytes, op.write
+                            )
                         pu = thread.pu
                         if nbytes <= 0:
                             if buf.home_numa is None:
@@ -950,6 +1124,7 @@ class SimMachine:
                             chunk = busy if busy <= remaining else remaining
                             thread.pending_busy = busy - chunk
                             counters.busy_cycles += chunk
+                            obs_pu_busy[pu] += chunk
                             thread.cur_chunk = chunk
                             eng._seq = s2 = eng._seq + 1
                             w2 = now + chunk
@@ -986,6 +1161,7 @@ class SimMachine:
                             chunk = cycles if cycles <= remaining else remaining
                             thread.pending_busy = cycles - chunk
                             counters.busy_cycles += chunk
+                            obs_pu_busy[thread.pu] += chunk
                             thread.cur_chunk = chunk
                             eng._seq = s2 = eng._seq + 1
                             w2 = now + chunk
@@ -1021,6 +1197,12 @@ class SimMachine:
                         thread.state = "blocked"
                         thread.waiting_on = event
                         event.waiters.append(thread)
+                        if monitors:
+                            notify_monitors("on_block", thread, event)
+                        if trace_rec is not None:
+                            trace_rec(now, thread.tid, "block", event.name)
+                        if ring_add is not None:
+                            ring_add(TR_BLOCK, now, thread.tid, thread.pu)
                         release_pu(thread)
                         dispatch()
                         break
@@ -1036,6 +1218,13 @@ class SimMachine:
                             )
                         continue
                     else:  # YieldCPU
+                        # The object path routes this through _requeue, so
+                        # it counts and traces as a preemption there too.
+                        obs_preempts[0] += 1
+                        if trace_rec is not None:
+                            trace_rec(now, thread.tid, "preempt", "")
+                        if ring_add is not None:
+                            ring_add(TR_PREEMPT, now, thread.tid, thread.pu)
                         release_pu(thread)
                         make_ready(thread)
                         dispatch()
@@ -1105,9 +1294,19 @@ class SimMachine:
     # -- internals: readiness and dispatch ----------------------------------------
 
     def _trace(self, tag: str, thread: SimThread | None, detail: str = "") -> None:
+        # Every scheduling transition of the object path funnels through
+        # here, so this one site feeds both the legacy Trace and the
+        # observer's ring (the batched core instruments the same points
+        # inline in _run_batched).
+        tid = thread.tid if thread is not None else -1
         if self.trace is not None:
-            tid = thread.tid if thread is not None else -1
             self.trace.record(self.engine.now, tid, tag, detail)
+        obs = self.observer
+        if obs is not None and obs.ring is not None:
+            obs.ring.add(
+                KIND_BY_NAME[tag], self.engine.now, tid,
+                thread.pu if thread is not None else None,
+            )
 
     def _notify_monitors(self, method: str, *args) -> None:
         for monitor in self.monitors:
@@ -1144,6 +1343,12 @@ class SimMachine:
         self._trace("ready", thread)
 
     def _dispatch(self) -> None:
+        obs = self.observer
+        if obs is not None and obs.queue_depths is not None:
+            depths = obs.queue_depths
+            d = len(self._ready)
+            last = len(depths) - 1
+            depths[d if d < last else last] += 1
         progressed = True
         while progressed and self._ready:
             progressed = False
@@ -1306,9 +1511,15 @@ class SimMachine:
         chunk = min(cycles, remaining_slice)
         thread.pending_busy = cycles - chunk
         thread.counters.busy_cycles += chunk
+        obs = self.observer
+        if obs is not None and obs.pu_busy is not None:
+            obs.pu_busy[thread.pu] += chunk
         self.engine.schedule(chunk, lambda: self._busy_done(thread, chunk))
 
     def _busy_done(self, thread: SimThread, chunk: float) -> None:
+        obs = self.observer
+        if obs is not None and obs.ring is not None:
+            obs.ring.add(TR_BUSY, self.engine.now, thread.tid, thread.pu)
         thread.slice_used += chunk
         at_boundary = thread.slice_used >= self.model.timeslice_cycles - 1e-9
         if not at_boundary:
@@ -1343,6 +1554,9 @@ class SimMachine:
         return False
 
     def _requeue(self, thread: SimThread) -> None:
+        obs = self.observer
+        if obs is not None and obs.preempts is not None:
+            obs.preempts[0] += 1
         self._trace("preempt", thread)
         self._release_pu(thread)
         self._make_ready(thread)

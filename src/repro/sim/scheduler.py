@@ -58,7 +58,10 @@ class OSScheduler:
         self._all_pus = [pu.os_index for pu in topology.pus]
         #: Observers called as ``hook(pu, thread)`` on every occupation —
         #: lets the dynamic analyzer watch placements and migrations as
-        #: they happen (see repro.analyze.dynamic).
+        #: they happen (see repro.analyze.dynamic). Served on both
+        #: simulator cores: the object path calls the hooks from
+        #: :meth:`occupy`, the batched core from its inlined start_on at
+        #: the same point (busy map updated, transition not yet traced).
         self.on_place: list = []
         self._busy: dict[int, SimThread | None] = {p: None for p in self._all_pus}
         self._node_load: dict[int, int] = {

@@ -2,14 +2,21 @@
 
 Enabled with ``SimMachine(..., trace=True)``; every scheduling transition
 is recorded as ``(time_cycles, tid, tag, detail)`` where tag is one of
-``ready``, ``run``, ``block``, ``preempt``, ``done``, ``crash``.
+:data:`TAGS`. Records are unbounded and unsampled — for long runs use
+the bounded, sampled ring in :mod:`repro.sim.observe` instead (it shares
+this module's tag vocabulary and exports Chrome ``trace_event`` JSON).
+Both tracers work on either simulator core.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["TraceRecord", "Trace"]
+__all__ = ["TraceRecord", "Trace", "TAGS"]
+
+#: The scheduling-transition vocabulary, in kind-id order — the ring
+#: trace extends it with a "busy" kind (see repro.sim.observe).
+TAGS = ("ready", "run", "block", "preempt", "done", "crash")
 
 
 @dataclass(frozen=True)

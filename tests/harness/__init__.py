@@ -1,0 +1,1 @@
+"""Test harnesses shared between the pytest suite and tooling preflights."""

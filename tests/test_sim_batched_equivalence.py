@@ -220,18 +220,61 @@ class TestCoreSelection:
         with pytest.raises(SimulationError, match="unknown core"):
             SimMachine(smp12e5(), core="vectorized")
 
-    def test_batched_core_refuses_taps(self):
+    def test_batched_core_refuses_watchers(self):
+        # Only engine.watchers (a per-event callback with no batched
+        # equivalent) still forces the object path; the error names it.
         m = ring_machine("batched", bound=True)
         m.engine.watchers.append(lambda now: None)
-        with pytest.raises(SimulationError, match="incompatible"):
+        with pytest.raises(SimulationError, match="engine.watchers"):
             m.run()
 
-    def test_auto_falls_back_to_object_path_with_taps(self):
+    def test_auto_falls_back_to_object_path_with_watchers(self):
         m = ring_machine("auto", bound=True)
         seen = []
         m.engine.watchers.append(lambda now: seen.append(now))
         m.run()
         assert seen  # the watcher actually fired — object path ran
+        assert m.core_used == "object"
+
+    def test_monitors_and_trace_run_natively_on_batched(self):
+        class Monitor:
+            touches = blocks = finishes = 0
+
+            def on_touch(self, thread, buffer, nbytes, write):
+                self.touches += 1
+
+            def on_block(self, thread, event):
+                self.blocks += 1
+
+            def on_finish(self, thread):
+                self.finishes += 1
+
+        records = {}
+        monitors = {}
+        placements = {}
+        for core in ("object", "batched"):
+            from repro.sim.trace import Trace
+
+            m = ring_machine(core, bound=True)
+            m.trace = Trace()
+            mon = Monitor()
+            m.monitors.append(mon)
+            placed = []
+            m.scheduler.on_place.append(
+                lambda pu, thread, acc=placed: acc.append((pu, thread.tid))
+            )
+            m.run()
+            assert m.core_used == core
+            records[core] = [
+                (r.time, r.tid, r.tag, r.detail) for r in m.trace.records
+            ]
+            monitors[core] = (mon.touches, mon.blocks, mon.finishes)
+            placements[core] = placed
+        assert records["batched"] == records["object"]
+        assert monitors["batched"] == monitors["object"]
+        assert placements["batched"] == placements["object"]
+        assert records["batched"]  # the taps actually observed something
+        assert monitors["batched"][0] > 0
 
     def test_run_is_single_shot(self):
         m = ring_machine("auto", bound=True)
