@@ -15,14 +15,15 @@ Two modes:
 ``python scripts/bench_repro.py --check [--tolerance 0.2]``
     Fast preflight (no pytest): runs the engine event-throughput ring
     inline and exits 1 if it processes <= 2_000 events — the same floor
-    ``test_engine_event_throughput`` asserts. When a ``BENCH_sim.json``
-    exists, the check is also a *regression gate*: the measured
-    ``engine_ring`` throughput must stay within ``--tolerance``
-    (default 20%) of the recorded generation, else exit 1. A second gate
-    (``engine_ring_traced``) runs the same workload with full metrics
-    and 1-in-16 sampled busy tracing attached and fails when the tapped
-    run falls below the same tolerance of the untapped batched rate.
-    ``regenerate_all.py`` calls this before spending minutes on figures.
+    ``test_engine_event_throughput`` asserts. Two *paired-ratio*
+    regression gates follow, each the median of back-to-back per-pair
+    time ratios measured on this machine (recorded absolute rates are
+    never compared against — they swing tens of percent between runs on
+    the shared container): the batched core must keep a real edge over
+    the object core (recorded speedup discounted 50%, floored at 1.2x),
+    and the fully tapped run must stay within ``--tolerance`` (default
+    20%) of the untapped batched run. ``regenerate_all.py`` calls this
+    before spending minutes on figures.
 """
 
 from __future__ import annotations
@@ -251,14 +252,50 @@ def pytest_benchmarks() -> dict:
     return out
 
 
-def run_check(tolerance: float = 0.2, reps: int = 3) -> int:
-    """Floor check + regression gate against the recorded generation.
+def _paired_ratios(run_num, run_den, pairs: int) -> tuple[list, float, float]:
+    """Back-to-back pairs of two probes; per-pair ``dt_num / dt_den``.
 
-    Best-of-*reps* so one scheduler hiccup doesn't fail a healthy tree;
-    the tolerance band absorbs honest machine-to-machine variance while
-    still catching real regressions (a 5x core landing back on the
-    object path trips it immediately).
+    Machine-level drift (frequency scaling, noisy neighbours) moves both
+    runs of a pair together and cancels in the ratio, where comparing
+    two independently-measured rates — or worse, a rate measured now
+    against one recorded on a different container — sees the drift as a
+    regression. Returns (ratios, best num rate, best den rate).
     """
+    ratios: list[float] = []
+    rate_num = rate_den = 0.0
+    for _ in range(pairs):
+        ev_d, dt_d = run_den()
+        ev_n, dt_n = run_num()
+        if dt_d > 0 and dt_n > 0:
+            ratios.append(dt_n / dt_d)
+            rate_den = max(rate_den, ev_d / dt_d)
+            rate_num = max(rate_num, ev_n / dt_n)
+    return ratios, rate_num, rate_den
+
+
+def run_check(tolerance: float = 0.2, reps: int = 3) -> int:
+    """Floor check + paired-ratio regression gates.
+
+    Every gate is *relative*, measured as the median of back-to-back
+    per-pair time ratios on this machine, right now:
+
+    1. absolute floor — the auto core must process more than
+       ``ENGINE_EVENTS_FLOOR`` events (best-of-*reps*);
+    2. core gate — the batched core must stay genuinely faster than the
+       object core. The required edge derives from the recorded
+       ``batched_vs_object_speedup`` but is discounted 50% (and floored
+       at 1.2x), so a generation recorded on a fast container can't
+       fail a healthy run on a loaded one;
+    3. observability gate — the fully tapped batched run (metrics +
+       1-in-16 sampled busy tracing) must stay within *tolerance* of
+       the untapped batched run.
+
+    Recorded absolute rates in BENCH_sim.json (which have swung 40%
+    between runs of the same code on the shared container) are never
+    compared against directly.
+    """
+    import statistics
+
     events, dt = min(engine_ring_events() for _ in range(reps))
     rate = events / dt if dt > 0 else float("inf")
     ok = events > ENGINE_EVENTS_FLOOR
@@ -270,48 +307,46 @@ def run_check(tolerance: float = 0.2, reps: int = 3) -> int:
     if not ok:
         return 1
 
-    if not OUT_PATH.exists():
-        print("bench_repro --check: no BENCH_sim.json — floor check only")
-        return 0
-    try:
-        with open(OUT_PATH) as fh:
-            recorded = json.load(fh)
-        recorded_rate = recorded["engine_ring"]["events_per_second"]
-    except (OSError, ValueError, KeyError, TypeError):
-        print("bench_repro --check: BENCH_sim.json unreadable — "
-              "floor check only")
-        return 0
-    if not recorded_rate:
-        return 0
-    floor_rate = recorded_rate * (1.0 - tolerance)
-    regressed = rate < floor_rate
+    recorded_speedup = None
+    if OUT_PATH.exists():
+        try:
+            with open(OUT_PATH) as fh:
+                recorded = json.load(fh)
+            recorded_speedup = recorded.get("engine_batched", {}).get(
+                "batched_vs_object_speedup"
+            )
+        except (OSError, ValueError, AttributeError):
+            print("bench_repro --check: BENCH_sim.json unreadable — "
+                  "recorded speedup unavailable")
+
+    # Core gate: batched vs object, paired.
+    ratios, rate_o, rate_b = _paired_ratios(
+        lambda: engine_ring_events("object"),
+        lambda: engine_ring_events("batched"),
+        reps,
+    )
+    speedup = statistics.median(ratios) if ratios else float("inf")
+    required = 1.2
+    if recorded_speedup:
+        required = max(required, 1.0 + (recorded_speedup - 1.0) * 0.5)
+    regressed = speedup < required
     verdict = "REGRESSION" if regressed else "ok"
     print(
-        f"bench_repro --check: engine_ring {rate:,.0f} ev/s vs recorded "
-        f"{recorded_rate:,.0f} (allowed >= {floor_rate:,.0f}, "
-        f"tolerance {tolerance:.0%}) [{verdict}]"
+        f"bench_repro --check: engine_batched {rate_b:,.0f} ev/s vs object "
+        f"{rate_o:,.0f}, median paired speedup {speedup:.2f}x "
+        f"(required >= {required:.2f}x"
+        + (f", recorded {recorded_speedup:.2f}x" if recorded_speedup else "")
+        + f") [{verdict}]"
     )
     if regressed:
         return 1
 
-    # Observability overhead gate: the fully tapped batched run (metrics
-    # + 1-in-16 sampled busy tracing) must stay within the tolerance of
-    # the untapped batched run. Runs pair up back-to-back and the gate
-    # compares the *median of per-pair time ratios* — machine-level
-    # drift (frequency scaling, noisy neighbours) moves both runs of a
-    # pair together and cancels in the ratio, where a best-of-N
-    # comparison of two independent sets would see it as overhead.
-    import statistics
-
-    ratios = []
-    rate_b = rate_t = 0.0
-    for _ in range(reps + 4):
-        ev_b, dt_b = engine_ring_events("batched")
-        ev_t, dt_t = engine_ring_events("batched", traced=True)
-        if dt_b > 0 and dt_t > 0:
-            ratios.append(dt_t / dt_b)
-            rate_b = max(rate_b, ev_b / dt_b)
-            rate_t = max(rate_t, ev_t / dt_t)
+    # Observability gate: tapped vs untapped batched runs, paired.
+    ratios, rate_t, rate_b = _paired_ratios(
+        lambda: engine_ring_events("batched", traced=True),
+        lambda: engine_ring_events("batched"),
+        reps + 4,
+    )
     overhead = statistics.median(ratios) - 1.0 if ratios else 0.0
     traced_regressed = overhead > tolerance
     verdict = "REGRESSION" if traced_regressed else "ok"

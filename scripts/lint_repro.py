@@ -4,16 +4,27 @@
 Usage:
     PYTHONPATH=src python scripts/lint_repro.py [--dynamic]
 
-Runs the equivalent of ``repro-paper lint --all`` (exit 3 on any
-error-level finding) followed by ``python -m compileall src`` (exit 1 on
-syntax errors anywhere in the tree). Intended for CI and as the
-preflight step of ``scripts/regenerate_all.py``.
+Runs, in order:
+
+1. the equivalent of ``repro-paper lint --all`` (exit 3 on any
+   error-level finding);
+2. the hot-loop purity lint (``repro-paper lint --hotlint``) over the
+   simulator's hot paths;
+3. ``ruff check`` with the ``[tool.ruff]`` config from pyproject.toml —
+   skipped with a notice when ruff is not installed (the container
+   image does not bake it in);
+4. ``python -m compileall src`` (exit 1 on syntax errors anywhere).
+
+Intended for CI and as the preflight step of
+``scripts/regenerate_all.py``.
 """
 
 from __future__ import annotations
 
 import compileall
 import os
+import shutil
+import subprocess
 import sys
 
 
@@ -22,6 +33,23 @@ def run_lint(dynamic: bool = False) -> int:
 
     argv = ["lint", "--all"] + (["--dynamic"] if dynamic else [])
     return cli_main(argv)
+
+
+def run_hotlint() -> int:
+    from repro.cli import main as cli_main
+
+    return cli_main(["lint", "--hotlint"])
+
+
+def run_ruff() -> int:
+    """``ruff check`` on the whole tree; 0 (with a notice) if absent."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ruff = shutil.which("ruff")
+    if ruff is None:
+        print("lint_repro: ruff not installed — skipping ruff check")
+        return 0
+    proc = subprocess.run([ruff, "check", root], cwd=root)
+    return proc.returncode
 
 
 def run_compileall() -> int:
@@ -39,12 +67,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"lint_repro: lint failed (exit {code})", file=sys.stderr)
         return code
 
+    code = run_hotlint()
+    if code != 0:
+        print(f"lint_repro: hotlint failed (exit {code})", file=sys.stderr)
+        return code
+
+    code = run_ruff()
+    if code != 0:
+        print(f"lint_repro: ruff failed (exit {code})", file=sys.stderr)
+        return code
+
     code = run_compileall()
     if code != 0:
         print("lint_repro: compileall found syntax errors", file=sys.stderr)
         return code
 
-    print("lint_repro: all apps lint clean, src byte-compiles")
+    print("lint_repro: all apps lint clean, hot paths pure, "
+          "src byte-compiles")
     return 0
 
 

@@ -10,8 +10,11 @@ The pipeline (see docs/ANALYZE.md):
    its acquire/release/touch pattern (:mod:`repro.analyze.probe`);
 4. **deadlock** — zero-lag cycles in the lag-weighted wait-for graph
    built from the initial FIFO order (:mod:`repro.analyze.deadlock`);
-5. **races** — Eraser-style locksets with split-descriptor aliasing
-   (:mod:`repro.analyze.races`);
+5. **races** — Eraser-style lockset candidates
+   (:mod:`repro.analyze.races`) classified by the vector-clock
+   happens-before replay (:mod:`repro.analyze.hb`): each candidate pair
+   gets a ``CONFIRMED``/``ORDERED`` verdict, and only confirmed or
+   unresolvable pairs are reported;
 6. optional **dynamic cross-check** — a monitored execution confirming
    or refuting the static findings (:mod:`repro.analyze.dynamic`).
 
@@ -31,10 +34,17 @@ from repro.analyze.dynamic import (
     cross_check,
     run_dynamic,
 )
+from repro.analyze.hb import HBResult, check_hb
 from repro.analyze.placement import check_placement, migrations_provably_zero
 from repro.analyze.probe import probe_program
-from repro.analyze.races import check_races, infer_aliases
-from repro.analyze.report import Finding, Report, json_text, sort_findings
+from repro.analyze.races import classify_races, infer_aliases
+from repro.analyze.report import (
+    Finding,
+    Report,
+    json_text,
+    sarif_log,
+    sort_findings,
+)
 from repro.errors import MappingError, ScheduleError
 
 __all__ = [
@@ -43,8 +53,10 @@ __all__ = [
     "analyze_runtime",
     "analyze_app",
     "Finding",
+    "HBResult",
     "Report",
     "json_text",
+    "sarif_log",
     "sort_findings",
 ]
 
@@ -62,6 +74,9 @@ class Analysis:
     #: Simulator core the dynamic cross-check executed on ("batched" /
     #: "object"); None when no dynamic pass ran.
     dynamic_core: str | None = None
+    #: Happens-before replay state (verdicts, coverage); None when the
+    #: program never scheduled.
+    hb: HBResult | None = None
 
     @property
     def report(self) -> Report:
@@ -82,6 +97,8 @@ class Analysis:
             # Report the core that actually executed instead of implying
             # the object path unconditionally.
             d["dynamic_core"] = self.dynamic_core
+        if self.hb is not None:
+            d["hb"] = self.hb.summary()
         return d
 
     def to_text(self) -> str:
@@ -99,10 +116,15 @@ class Analysis:
         return "\n".join(lines)
 
 
-def analyze_runtime(runtime, *, name: str = "") -> Analysis:
+def analyze_runtime(
+    runtime, *, name: str = "", hb_notes: bool = False
+) -> Analysis:
     """All static passes on one runtime (consumed: do not run() after).
 
-    The runtime must be declared but not yet scheduled.
+    The runtime must be declared but not yet scheduled. With
+    *hb_notes* set, lockset pairs the happens-before replay proves
+    ORDERED are surfaced as ``race-ordered`` notes instead of being
+    silently suppressed (the CLI's ``--hb``).
     """
     report = Report(program=name or "<program>")
     report.extend(runtime.validate())
@@ -126,6 +148,7 @@ def analyze_runtime(runtime, *, name: str = "") -> Analysis:
         )
 
     aliases: dict = {}
+    hb = None
     try:
         runtime.schedule()
     except ScheduleError as exc:
@@ -136,7 +159,10 @@ def analyze_runtime(runtime, *, name: str = "") -> Analysis:
         patterns = probe_program(runtime)
         aliases = infer_aliases(patterns)
         report.extend(check_deadlock(runtime, patterns))
-        report.extend(check_races(runtime, patterns, aliases=aliases))
+        hb = check_hb(runtime, patterns)
+        report.extend(classify_races(
+            runtime, patterns, hb, aliases=aliases, hb_notes=hb_notes
+        ))
 
     return Analysis(
         name=report.program,
@@ -144,6 +170,7 @@ def analyze_runtime(runtime, *, name: str = "") -> Analysis:
         placement=placement,
         migrations_proved=migrations_proved,
         aliases=aliases,
+        hb=hb,
     )
 
 
@@ -153,14 +180,16 @@ def analyze(
     name: str = "",
     dynamic: bool = False,
     max_events: int | None = None,
+    hb_notes: bool = False,
+    sanitize: bool = False,
 ) -> Analysis:
     """Static analysis of ``build()``'s program, optionally cross-checked
     against a monitored execution of a second, fresh instance."""
-    analysis = analyze_runtime(build(), name=name)
-    if dynamic:
+    analysis = analyze_runtime(build(), name=name, hb_notes=hb_notes)
+    if dynamic or sanitize:
         kwargs = {} if max_events is None else {"max_events": max_events}
         result: DynamicResult = run_dynamic(
-            build, aliases=analysis.aliases, **kwargs
+            build, aliases=analysis.aliases, sanitize=sanitize, **kwargs
         )
         dyn = Report(program=analysis.name)
         dyn.extend(cross_check(
@@ -173,7 +202,12 @@ def analyze(
 
 
 def analyze_app(
-    app: str, *, dynamic: bool = False, max_events: int | None = None
+    app: str,
+    *,
+    dynamic: bool = False,
+    max_events: int | None = None,
+    hb_notes: bool = False,
+    sanitize: bool = False,
 ) -> Analysis:
     """Analyze a registered paper application by name (see
     :mod:`repro.analyze.apps`)."""
@@ -181,5 +215,6 @@ def analyze_app(
 
     build = app_builder(app)
     return analyze(
-        build, name=app, dynamic=dynamic, max_events=max_events
+        build, name=app, dynamic=dynamic, max_events=max_events,
+        hb_notes=hb_notes, sanitize=sanitize,
     )

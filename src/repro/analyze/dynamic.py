@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.analyze.races import effective_lockset
 from repro.analyze.report import Finding, Report
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, InvariantViolation, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.orwl.runtime import Runtime
@@ -152,6 +152,10 @@ class DynamicResult:
     #: Which simulator core executed the monitored run ("batched" unless
     #: something forced the object path).
     core: str = ""
+    #: SimSanitizer coverage of the run: live+post-run invariant checks
+    #: performed (0 when the run was not sanitized) and any violations.
+    sanitizer_checks: int = 0
+    sanitizer_violations: list[str] = field(default_factory=list)
 
 
 def run_dynamic(
@@ -159,16 +163,24 @@ def run_dynamic(
     *,
     aliases: dict[int, set[int]] | None = None,
     max_events: int = DEFAULT_MAX_EVENTS,
+    sanitize: bool = False,
 ) -> DynamicResult:
-    """Build a fresh runtime, attach the monitor, execute, observe."""
+    """Build a fresh runtime, attach the monitor, execute, observe.
+
+    With *sanitize* the execution also runs under the SimSanitizer's
+    checked-mode invariants (:mod:`repro.analyze.invariants`).
+    """
     rt = build()
     monitor = DynamicMonitor(rt, aliases)
     machine = rt.machine
+    if sanitize:
+        machine.sanitize = True
     machine.monitors.append(monitor)
     machine.scheduler.on_place.append(monitor.on_place)
 
     completed = deadlocked = budget_exhausted = False
     error = ""
+    sanitizer_violations: list[str] = []
     seconds = 0.0
     try:
         result = rt.run(max_events=max_events)
@@ -177,11 +189,20 @@ def run_dynamic(
     except DeadlockError as exc:
         deadlocked = True
         error = str(exc)
+    except InvariantViolation as exc:
+        error = str(exc)
+        sanitizer_violations.append(str(exc))
     except SimulationError as exc:
         budget_exhausted = True
         error = str(exc)
     monitor.steps = machine.engine.events_processed
     monitor.last_time = machine.engine.now
+    sanitizer_checks = 0
+    if machine.sanitizer is not None:
+        sanitizer_checks = machine.sanitizer.checks
+        for violation in machine.sanitizer.violations:
+            if violation not in sanitizer_violations:
+                sanitizer_violations.append(violation)
 
     blocked = [
         t.name
@@ -201,6 +222,8 @@ def run_dynamic(
         seconds=seconds,
         monitor=monitor,
         core=machine.core_used or "",
+        sanitizer_checks=sanitizer_checks,
+        sanitizer_violations=sanitizer_violations,
     )
 
 
@@ -256,6 +279,14 @@ def cross_check(
         f("note", "race-unconfirmed",
           f"static race on {label!r} was not observed on this execution "
           "(interleaving-dependent)", subject=label)
+
+    # -- sanitizer -------------------------------------------------------------
+    for violation in result.sanitizer_violations:
+        f("error", "sanitizer-violation", violation)
+    if result.sanitizer_checks and not result.sanitizer_violations:
+        f("note", "sanitizer-clean",
+          f"{result.sanitizer_checks} simulator invariant check(s) held "
+          "during the monitored execution")
 
     # -- migrations ------------------------------------------------------------
     if migrations_proved and result.completed:

@@ -1,0 +1,211 @@
+"""Dynamic cross-check for the fork-join (OpenMP-model) applications.
+
+The static pipeline reasons about ORWL graphs; the OpenMP-model apps
+have no location graph to probe, but they run on the very same
+simulator, so the *execution-grounded* half of the analyzer applies:
+run a miniature configuration with the region hook and (optionally) the
+SimSanitizer attached, and check the runtime-level invariants —
+
+* every ``parallel_for`` region that forked also joined (the implicit
+  barrier completed, in order);
+* with an explicit binding, the run migrated zero threads;
+* under ``--sanitize``, every simulator invariant held;
+
+— recording which simulator core actually executed (``dynamic_core``),
+exactly like the ORWL dynamic pass does.
+
+The registry keys (``omp-lk23``, ``omp-dgemm``, ``omp-video``) are
+accepted by ``repro-paper lint`` next to the ORWL app names; with
+``--all --dynamic`` they are appended to the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analyze.report import Finding, Report
+from repro.errors import InvariantViolation, ReproError, SimulationError
+
+__all__ = [
+    "OMP_APPS",
+    "OpenMPDynamicResult",
+    "omp_app_names",
+    "run_openmp_dynamic",
+    "check_openmp",
+    "analyze_openmp",
+]
+
+
+def _run_omp_lk23(attach):
+    from repro.apps.lk23 import Lk23Config, run_openmp_lk23
+    from repro.topology import smp12e5
+
+    return run_openmp_lk23(
+        smp12e5(), Lk23Config(n=64, iterations=2, n_threads=8),
+        binding="close", attach=attach,
+    )
+
+
+def _run_omp_dgemm(attach):
+    from repro.openmp.mkl import threaded_dgemm
+    from repro.topology import smp12e5
+
+    return threaded_dgemm(
+        smp12e5(), 128, 8, binding="scatter", attach=attach,
+    )
+
+
+def _run_omp_video(attach):
+    from repro.apps.video import VideoConfig
+    from repro.apps.video.pipeline import run_openmp_video
+    from repro.topology import smp12e5_4s
+
+    return run_openmp_video(
+        smp12e5_4s(),
+        VideoConfig(resolution="HD", frames=2, n_dilate=2),
+        8, binding="close", attach=attach,
+    )
+
+
+#: Analyzer-sized fork-join apps: name -> runner(attach) -> OMPResult.
+OMP_APPS: dict[str, Callable] = {
+    "omp-lk23": _run_omp_lk23,
+    "omp-dgemm": _run_omp_dgemm,
+    "omp-video": _run_omp_video,
+}
+
+
+def omp_app_names() -> list[str]:
+    return sorted(OMP_APPS)
+
+
+@dataclass
+class OpenMPDynamicResult:
+    """Observations from one monitored fork-join execution."""
+
+    name: str
+    completed: bool = False
+    error: str = ""
+    core: str = ""
+    seconds: float = 0.0
+    n_threads: int = 0
+    binding: str | None = None
+    #: Region indices seen at fork / at join, in virtual-time order.
+    forked: list[int] = field(default_factory=list)
+    joined: list[int] = field(default_factory=list)
+    migrations: int = 0
+    sanitizer_checks: int = 0
+    sanitizer_violations: list[str] = field(default_factory=list)
+
+
+def run_openmp_dynamic(
+    name: str, *, sanitize: bool = False
+) -> OpenMPDynamicResult:
+    """Execute one registered fork-join app with the hooks attached."""
+    try:
+        runner = OMP_APPS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown OpenMP app {name!r}; known: {', '.join(omp_app_names())}"
+        ) from None
+
+    result = OpenMPDynamicResult(name=name)
+    runtimes = []
+
+    def attach(omp) -> None:
+        runtimes.append(omp)
+        if sanitize:
+            omp.machine.sanitize = True
+
+        def on_region(kind: str, region: int, n_items: int) -> None:
+            (result.forked if kind == "fork" else result.joined).append(region)
+
+        omp.on_region.append(on_region)
+
+    try:
+        omp_result = runner(attach)
+        result.completed = True
+        result.seconds = omp_result.seconds
+        result.n_threads = omp_result.n_threads
+        result.binding = omp_result.binding
+        result.migrations = int(omp_result.counters.cpu_migrations)
+    except InvariantViolation as exc:
+        result.error = str(exc)
+        result.sanitizer_violations.append(str(exc))
+    except SimulationError as exc:
+        result.error = str(exc)
+    if runtimes:
+        machine = runtimes[0].machine
+        result.core = machine.core_used or ""
+        result.n_threads = result.n_threads or runtimes[0].n_threads
+        result.binding = result.binding or runtimes[0].binding
+        if machine.sanitizer is not None:
+            result.sanitizer_checks = machine.sanitizer.checks
+            for violation in machine.sanitizer.violations:
+                if violation not in result.sanitizer_violations:
+                    result.sanitizer_violations.append(violation)
+    return result
+
+
+def check_openmp(result: OpenMPDynamicResult) -> list[Finding]:
+    """Reconcile one fork-join execution against the runtime invariants."""
+    findings: list[Finding] = []
+
+    def f(severity, code, message, subject=""):
+        findings.append(
+            Finding(severity, code, message, subject=subject,
+                    source="dynamic")
+        )
+
+    if not result.completed:
+        f("error", "omp-run-failed",
+          f"execution of {result.name} failed: {result.error or '<unknown>'}",
+          subject=result.name)
+
+    if result.forked != result.joined:
+        unjoined = [r for r in result.forked if r not in result.joined]
+        f("error", "omp-region-unbalanced",
+          f"{len(result.forked)} region(s) forked but "
+          f"{len(result.joined)} joined"
+          + (f"; regions {unjoined[:8]} never completed their barrier"
+             if unjoined else "; join order diverged from fork order"),
+          subject=result.name)
+    elif result.forked:
+        f("note", "omp-regions-balanced",
+          f"{len(result.forked)} parallel region(s) forked and joined in "
+          f"order on a team of {result.n_threads}",
+          subject=result.name)
+
+    if result.binding is not None and result.completed:
+        if result.migrations == 0:
+            f("note", "migrations-zero-confirmed",
+              f"binding {result.binding!r}: observed CPU migrations = 0")
+        else:
+            f("error", "migration-despite-binding",
+              f"{result.migrations} CPU migration(s) observed although the "
+              f"team is bound ({result.binding!r})")
+
+    for violation in result.sanitizer_violations:
+        f("error", "sanitizer-violation", violation)
+    if result.sanitizer_checks and not result.sanitizer_violations:
+        f("note", "sanitizer-clean",
+          f"{result.sanitizer_checks} simulator invariant check(s) held "
+          "during the monitored execution")
+    return findings
+
+
+def analyze_openmp(name: str, *, sanitize: bool = False):
+    """Full dynamic pass packaged as an :class:`~repro.analyze.Analysis`
+    (empty static report — fork-join apps have no ORWL graph to probe)."""
+    from repro.analyze import Analysis
+
+    result = run_openmp_dynamic(name, sanitize=sanitize)
+    dyn = Report(program=name)
+    dyn.extend(check_openmp(result))
+    return Analysis(
+        name=name,
+        static=Report(program=name),
+        dynamic=dyn,
+        dynamic_core=result.core,
+    )

@@ -5,15 +5,24 @@ Two operations race on a buffer when both touch it, at least one writes,
 and their *effective locksets* — the locations they hold handles on —
 share no common guard: nothing orders the two critical sections.
 
-One idiom needs care: **zero-copy split descriptors**. A scatter stage
-publishes a small descriptor of its input into a work location (video's
-``gmm_work``); split workers then touch the *input's* buffer while
-holding only a handle on the work location. That is safe — the work
-location's FIFO transitively orders access to the input — so a handle
-on the descriptor location counts as a guard on the described location.
-The alias is inferred from the publisher's own pattern: an operation
-that write-touches location *M* while simultaneously holding a write
-handle on *M* and a read handle on *L* establishes ``M ⇒ guards L``.
+Locksets are a heuristic. The happens-before replay
+(:mod:`repro.analyze.hb`) gives execution-grounded verdicts; this module
+feeds it via :func:`collect_race_pairs`, which returns one structured
+:class:`RacePair` per candidate (buffer, op-pair) so the pipeline can
+attach a ``CONFIRMED``/``ORDERED`` verdict instead of reporting blindly.
+
+One idiom needs care when locksets must stand alone: **zero-copy split
+descriptors**. A scatter stage publishes a small descriptor of its input
+into a work location (video's ``gmm_work``); split workers then touch
+the *input's* buffer while holding only a handle on the work location.
+That is safe — the work location's FIFO transitively orders access to
+the input — so a handle on the descriptor location counts as a guard on
+the described location. The alias is inferred from the publisher's own
+pattern: an operation that write-touches location *M* while
+simultaneously holding a write handle on *M* and a read handle on *L*
+establishes ``M ⇒ guards L``. The HB replay derives the same guarantee
+from the protocol itself (the delegation rule), so the alias is only a
+fallback for pairs the replay could not cover.
 
 A second check catches writes bypassing exclusivity: a write touch of a
 location's buffer while the operation holds only *read* handles on that
@@ -22,15 +31,25 @@ location (``write-under-read-lock``).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.analyze.probe import OpPattern
 from repro.analyze.report import Finding
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analyze.hb import HBResult
     from repro.orwl.runtime import Runtime
 
-__all__ = ["infer_aliases", "effective_lockset", "check_races"]
+__all__ = [
+    "RacePair",
+    "infer_aliases",
+    "effective_lockset",
+    "collect_race_pairs",
+    "check_write_under_read_lock",
+    "check_races",
+    "classify_races",
+]
 
 
 def infer_aliases(patterns: dict[int, OpPattern]) -> dict[int, set[int]]:
@@ -60,60 +79,81 @@ def effective_lockset(held: tuple, aliases: dict[int, set[int]]) -> frozenset[in
     return frozenset(locks)
 
 
-def check_races(
-    runtime: "Runtime",
-    patterns: dict[int, OpPattern],
-    *,
-    aliases: dict[int, set[int]] | None = None,
-) -> list[Finding]:
-    """All race findings over the probed touch events."""
-    if aliases is None:
-        aliases = infer_aliases(patterns)
+@dataclass(frozen=True)
+class RacePair:
+    """One candidate race: a (buffer, unordered op-pair) with evidence."""
+
+    buffer_id: int
+    label: str  # location name (or buffer label) for messages
+    op_a: object  # Operation
+    op_b: object
+    write_a: bool
+    write_b: bool
+    locks_a: frozenset  # effective locksets at the conflicting touches
+    locks_b: frozenset
+
+    @property
+    def key(self) -> tuple:
+        return (self.buffer_id, frozenset((self.op_a.op_id, self.op_b.op_id)))
+
+    @property
+    def kind(self) -> str:
+        return "write/write" if (self.write_a and self.write_b) else "read/write"
+
+    def finding(self, *, verdict: str = "") -> Finding:
+        return Finding(
+            "error", "data-race",
+            f"{self.kind} race on buffer {self.label!r}: "
+            f"{self.op_a.name} and {self.op_b.name} touch it with no common "
+            "guarding location (locksets "
+            f"{sorted(self.locks_a)} vs {sorted(self.locks_b)})",
+            subject=self.label,
+            fix_hint="route both accesses through handles on a "
+                     "shared location (or a split descriptor of it)",
+            verdict=verdict,
+        )
+
+
+def _buffer_accesses(runtime: "Runtime", patterns: dict[int, OpPattern],
+                     aliases: dict[int, set[int]]):
+    """Group probed touches by buffer: bid -> [(op, write, lockset)]."""
     loc_by_buffer = {
         id(loc.buffer): loc
         for loc in runtime.locations
         if loc.buffer is not None
     }
-
-    findings: list[Finding] = []
-    # accesses[buffer_id] -> list of (op, write, lockset)
     accesses: dict[int, list] = {}
-    buffer_label: dict[int, str] = {}
-    read_lock_reported: set[tuple[int, int]] = set()
-
+    labels: dict[int, str] = {}
     for pattern in patterns.values():
         for ev in pattern.touch_events:
-            lockset = effective_lockset(ev.held, aliases)
             bid = id(ev.buffer)
             loc = loc_by_buffer.get(bid)
-            label = loc.name if loc is not None else getattr(
+            labels[bid] = loc.name if loc is not None else getattr(
                 ev.buffer, "label", "<buffer>"
             )
-            buffer_label[bid] = label
             accesses.setdefault(bid, []).append(
-                (pattern.op, ev.write, lockset)
+                (pattern.op, ev.write, effective_lockset(ev.held, aliases))
             )
-            # Write through read-only guards on the touched location.
-            if ev.write and loc is not None:
-                on_loc = [h for h in ev.held if h.location is loc]
-                key = (pattern.op.op_id, loc.loc_id)
-                if (
-                    on_loc
-                    and all(h.mode == "r" for h in on_loc)
-                    and key not in read_lock_reported
-                ):
-                    read_lock_reported.add(key)
-                    findings.append(Finding(
-                        "error", "write-under-read-lock",
-                        f"{pattern.op.name} writes location {loc.name!r} "
-                        "while holding only read handles on it — the FIFO "
-                        "admits concurrent readers, so the write is "
-                        "unordered",
-                        subject=loc.name,
-                        fix_hint="acquire a write handle for the update",
-                    ))
+    return accesses, labels
 
-    reported: set[tuple] = set()
+
+def collect_race_pairs(
+    runtime: "Runtime",
+    patterns: dict[int, OpPattern],
+    *,
+    aliases: dict[int, set[int]] | None = None,
+) -> list[RacePair]:
+    """All lockset-unguarded (buffer, op-pair) candidates, deduplicated.
+
+    With ``aliases=None`` the split-descriptor rule is inferred and
+    applied (the legacy standalone behaviour); pass ``aliases={}`` for
+    the raw lockset pairs the HB replay classifies.
+    """
+    if aliases is None:
+        aliases = infer_aliases(patterns)
+    accesses, labels = _buffer_accesses(runtime, patterns, aliases)
+    pairs: list[RacePair] = []
+    seen: set[tuple] = set()
     for bid, entries in accesses.items():
         for i, (op_a, w_a, locks_a) in enumerate(entries):
             for op_b, w_b, locks_b in entries[i + 1:]:
@@ -122,19 +162,151 @@ def check_races(
                 if locks_a & locks_b:
                     continue
                 key = (bid, frozenset((op_a.op_id, op_b.op_id)))
-                if key in reported:
+                if key in seen:
                     continue
+                seen.add(key)
+                pairs.append(RacePair(
+                    buffer_id=bid, label=labels[bid],
+                    op_a=op_a, op_b=op_b, write_a=w_a, write_b=w_b,
+                    locks_a=locks_a, locks_b=locks_b,
+                ))
+    return pairs
+
+
+def check_write_under_read_lock(
+    runtime: "Runtime", patterns: dict[int, OpPattern]
+) -> list[Finding]:
+    """Writes bypassing exclusivity: write touches under read-only guards."""
+    loc_by_buffer = {
+        id(loc.buffer): loc
+        for loc in runtime.locations
+        if loc.buffer is not None
+    }
+    findings: list[Finding] = []
+    reported: set[tuple[int, int]] = set()
+    for pattern in patterns.values():
+        for ev in pattern.touch_events:
+            if not ev.write:
+                continue
+            loc = loc_by_buffer.get(id(ev.buffer))
+            if loc is None:
+                continue
+            on_loc = [h for h in ev.held if h.location is loc]
+            key = (pattern.op.op_id, loc.loc_id)
+            if (
+                on_loc
+                and all(h.mode == "r" for h in on_loc)
+                and key not in reported
+            ):
                 reported.add(key)
-                kind = "write/write" if (w_a and w_b) else "read/write"
                 findings.append(Finding(
-                    "error", "data-race",
-                    f"{kind} race on buffer {buffer_label[bid]!r}: "
-                    f"{op_a.name} and {op_b.name} touch it with no common "
-                    "guarding location (locksets "
-                    f"{sorted(locks_a)} vs {sorted(locks_b)})",
-                    subject=buffer_label[bid],
-                    fix_hint="route both accesses through handles on a "
-                             "shared location (or a split descriptor of "
-                             "it)",
+                    "error", "write-under-read-lock",
+                    f"{pattern.op.name} writes location {loc.name!r} "
+                    "while holding only read handles on it — the FIFO "
+                    "admits concurrent readers, so the write is "
+                    "unordered",
+                    subject=loc.name,
+                    fix_hint="acquire a write handle for the update",
                 ))
     return findings
+
+
+def check_races(
+    runtime: "Runtime",
+    patterns: dict[int, OpPattern],
+    *,
+    aliases: dict[int, set[int]] | None = None,
+) -> list[Finding]:
+    """Standalone lockset findings (no HB verdicts) — legacy entry point."""
+    findings = check_write_under_read_lock(runtime, patterns)
+    for pair in collect_race_pairs(runtime, patterns, aliases=aliases):
+        findings.append(pair.finding())
+    return findings
+
+
+def classify_races(
+    runtime: "Runtime",
+    patterns: dict[int, OpPattern],
+    hb: "HBResult",
+    *,
+    aliases: dict[int, set[int]] | None = None,
+    hb_notes: bool = False,
+) -> list[Finding]:
+    """Lockset candidates filtered through the happens-before verdicts.
+
+    One finding per (buffer, op-pair):
+
+    * ``CONFIRMED`` — HB-concurrent: reported as a ``data-race`` error
+      with the verdict attached;
+    * ``ORDERED`` — a lockset false positive: suppressed (emitted as a
+      ``race-ordered`` note when *hb_notes* is set, for ``--hb``);
+    * unknown — the replay could not cover the pair: fall back to the
+      split-descriptor alias rule; still-unguarded pairs are reported
+      as lockset-only errors (empty verdict).
+    """
+    if aliases is None:
+        aliases = infer_aliases(patterns)
+    findings = check_write_under_read_lock(runtime, patterns)
+    raw_pairs = collect_race_pairs(runtime, patterns, aliases={})
+    for pair in raw_pairs:
+        verdict = hb.verdict(pair.buffer_id,
+                             (pair.op_a.op_id, pair.op_b.op_id))
+        if verdict == "CONFIRMED":
+            findings.append(pair.finding(verdict=verdict))
+        elif verdict == "ORDERED":
+            if hb_notes:
+                findings.append(Finding(
+                    "note", "race-ordered",
+                    f"lockset pair on buffer {pair.label!r} "
+                    f"({pair.op_a.name} vs {pair.op_b.name}, {pair.kind}) "
+                    "is FIFO-ordered: the happens-before replay separates "
+                    "every conflicting access",
+                    subject=pair.label,
+                    verdict=verdict,
+                ))
+        else:
+            # Replay had no coverage: the alias-augmented lockset is the
+            # best remaining evidence.
+            locks_a = _alias_expand(pair.locks_a, aliases)
+            locks_b = _alias_expand(pair.locks_b, aliases)
+            if not (locks_a & locks_b):
+                findings.append(pair.finding())
+
+    # Races only the replay can see: conflicting accesses whose locksets
+    # overlap (so the lockset pass stays silent) yet are HB-concurrent —
+    # e.g. a write racing reads inside one coalesced reader group.
+    lockset_keys = {pair.key for pair in raw_pairs}
+    ops_by_id = {op.op_id: op for op in runtime.operations}
+    labels = {
+        id(loc.buffer): loc.name
+        for loc in runtime.locations
+        if loc.buffer is not None
+    }
+    for (bid, op_ids), kind in sorted(
+        hb.raced.items(), key=lambda kv: (kv[0][0], sorted(kv[0][1]))
+    ):
+        if (bid, op_ids) in lockset_keys:
+            continue
+        names = sorted(
+            ops_by_id[o].name for o in op_ids if o in ops_by_id
+        )
+        label = labels.get(bid, "<buffer>")
+        findings.append(Finding(
+            "error", "data-race",
+            f"{kind} race on buffer {label!r}: "
+            f"{' and '.join(names)} are happens-before concurrent even "
+            "though their locksets overlap (shared read access does not "
+            "order a write)",
+            subject=label,
+            fix_hint="give the writing operation an exclusive (write) "
+                     "handle on the location",
+            verdict="CONFIRMED",
+        ))
+    return findings
+
+
+def _alias_expand(locks: frozenset, aliases: dict[int, set[int]]) -> frozenset:
+    expanded = set(locks)
+    for lid in locks:
+        expanded |= aliases.get(lid, set())
+    return frozenset(expanded)

@@ -3,9 +3,12 @@
 A :class:`Finding` is one diagnostic: severity (``error`` > ``warning`` >
 ``note``), a stable machine-readable ``code``, a human message, an
 optional ``subject`` (the operation/location/thread span the finding is
-about), an optional ``fix_hint``, and a ``source`` tag (``static`` or
-``dynamic``). :class:`Report` collects findings, keeps them in a stable
-canonical order, and renders them as text or a SARIF-ish JSON document.
+about), an optional ``fix_hint``, a ``source`` tag (``static`` or ``dynamic``), an
+optional happens-before ``verdict`` (``CONFIRMED``/``ORDERED``), and an
+optional source span (``file``/``line``) for findings anchored in code,
+as the hot-loop lint's are. :class:`Report` collects findings, keeps
+them in a stable canonical order, and renders them as text, the repo's
+own JSON document, or a standard SARIF 2.1 log (:meth:`Report.to_sarif`).
 
 This module is deliberately standalone (no imports from ``repro.orwl`` /
 ``repro.sim``) so the linter and all analyzers can share it without
@@ -25,6 +28,7 @@ __all__ = [
     "severity_rank",
     "sort_findings",
     "json_text",
+    "sarif_log",
 ]
 
 #: Recognized severities, most severe first.
@@ -49,6 +53,13 @@ class Finding:
     subject: str = ""
     fix_hint: str = ""
     source: str = "static"  # "static" | "dynamic"
+    #: Happens-before classification for race findings:
+    #: "CONFIRMED" (HB-concurrent), "ORDERED" (lockset false positive),
+    #: "" (no HB verdict — lockset-only evidence).
+    verdict: str = ""
+    #: Source span for code-anchored findings (hotlint); empty/0 = none.
+    file: str = ""
+    line: int = 0
 
     @property
     def level(self) -> str:
@@ -56,7 +67,13 @@ class Finding:
         return self.severity
 
     def __str__(self) -> str:
-        return f"[{self.severity}] {self.code}: {self.message}"
+        head = f"[{self.severity}] {self.code}"
+        if self.file:
+            head += f" {self.file}:{self.line}"
+        text = f"{head}: {self.message}"
+        if self.verdict:
+            text += f" (verdict: {self.verdict})"
+        return text
 
     def to_dict(self) -> dict:
         d = {
@@ -69,6 +86,11 @@ class Finding:
         if self.fix_hint:
             d["fix_hint"] = self.fix_hint
         d["source"] = self.source
+        if self.verdict:
+            d["verdict"] = self.verdict
+        if self.file:
+            d["file"] = self.file
+            d["line"] = self.line
         return d
 
 
@@ -96,9 +118,13 @@ class Report:
         subject: str = "",
         fix_hint: str = "",
         source: str = "static",
+        verdict: str = "",
+        file: str = "",
+        line: int = 0,
     ) -> Finding:
         f = Finding(severity, code, message, subject=subject,
-                    fix_hint=fix_hint, source=source)
+                    fix_hint=fix_hint, source=source, verdict=verdict,
+                    file=file, line=line)
         self.findings.append(f)
         return f
 
@@ -176,7 +202,90 @@ class Report:
     def to_json(self) -> str:
         return json_text(self.to_dict())
 
+    def to_sarif(self) -> dict:
+        """Standard SARIF 2.1.0 log for this report (one run)."""
+        return sarif_log([self])
+
 
 def json_text(obj) -> str:
     """The one JSON serialization used across the CLI (stable keys)."""
     return json.dumps(obj, indent=1, sort_keys=False)
+
+
+#: Severity mapping into SARIF's result levels.
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _sarif_result(report: Report, f: Finding) -> dict:
+    result: dict = {
+        "ruleId": f.code,
+        "level": _SARIF_LEVEL.get(f.severity, "none"),
+        "message": {"text": f.message},
+    }
+    properties: dict = {"source": f.source}
+    if report.program:
+        properties["program"] = report.program
+    if f.subject:
+        properties["subject"] = f.subject
+    if f.fix_hint:
+        properties["fixHint"] = f.fix_hint
+    if f.verdict:
+        properties["verdict"] = f.verdict
+    result["properties"] = properties
+    if f.file:
+        region = {"startLine": f.line} if f.line else {}
+        location = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.file},
+                **({"region": region} if region else {}),
+            }
+        }
+        result["locations"] = [location]
+    elif f.subject:
+        result["locations"] = [
+            {"logicalLocations": [{"name": f.subject}]}
+        ]
+    return result
+
+
+def sarif_log(reports: Iterable[Report]) -> dict:
+    """A SARIF 2.1.0 document covering *reports* as one tool run.
+
+    Rules are synthesized from the finding codes present; results keep
+    the repo-specific fields (program, subject, verdict, fix hint) in
+    the SARIF ``properties`` bag so nothing is lost relative to
+    :meth:`Report.to_dict`.
+    """
+    reports = list(reports)
+    codes: dict[str, str] = {}
+    results: list[dict] = []
+    for report in reports:
+        for f in report.sorted():
+            codes.setdefault(f.code, f.message)
+            results.append(_sarif_result(report, f))
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": message},
+        }
+        for code, message in sorted(codes.items())
+    ]
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "version": "1.0.0",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

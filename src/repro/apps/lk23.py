@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import isqrt
+from typing import Callable
 
 import numpy as np
 
@@ -520,6 +521,7 @@ def run_openmp_lk23(
     seed: int = 0,
     arrays: dict[str, np.ndarray] | None = None,
     core: str = "auto",
+    attach: Callable[[OpenMPRuntime], None] | None = None,
 ) -> OMPResult:
     """The paper's OpenMP version: ``parallel for`` over row chunks with
     static scheduling, one implicit barrier per iteration.
@@ -565,4 +567,6 @@ def run_openmp_lk23(
         for _ in range(cfg.iterations):
             yield from rt.parallel_for(n_chunks, chunk)
 
+    if attach is not None:
+        attach(omp)
     return omp.run(master)

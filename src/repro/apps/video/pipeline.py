@@ -21,6 +21,7 @@ the location FIFOs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -428,6 +429,7 @@ def run_openmp_video(
     model: CostModel | None = None,
     seed: int = 0,
     core: str = "auto",
+    attach: Callable[[OpenMPRuntime], None] | None = None,
 ) -> OMPResult:
     """Fork-join variant: per frame, each heavy stage is a parallel_for
     over strips with a barrier — no cross-frame pipelining, master-homed
@@ -478,6 +480,8 @@ def run_openmp_video(
             yield Compute(TRACK_FLOPS_PER_COMPONENT * 10)
             yield Compute(CONSUMER_FLOPS_PER_PIXEL * px)
 
+    if attach is not None:
+        attach(omp)
     return omp.run(master)
 
 

@@ -108,6 +108,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit findings as JSON")
     p_lint.add_argument("--dynamic", action="store_true",
                         help="cross-check against a monitored execution")
+    p_lint.add_argument("--hb", action="store_true",
+                        help="surface happens-before verdicts: ORDERED "
+                             "lockset pairs become race-ordered notes and "
+                             "the replay summary is printed")
+    p_lint.add_argument("--sanitize", action="store_true",
+                        help="run the dynamic cross-check under the "
+                             "SimSanitizer's checked-mode invariants "
+                             "(implies --dynamic)")
+    p_lint.add_argument("--hotlint", action="store_true",
+                        help="also lint the simulator's hot loops for "
+                             "per-event allocations and unguarded taps "
+                             "(no app name needed)")
+    p_lint.add_argument("--sarif", action="store_true",
+                        help="emit findings as a SARIF 2.1 log")
 
     p_trace = sub.add_parser(
         "trace",
@@ -330,26 +344,71 @@ def _cmd_dfg() -> str:
 
 
 def _cmd_lint(
-    app: str | None, all_apps: bool, as_json: bool, dynamic: bool
+    app: str | None,
+    all_apps: bool,
+    as_json: bool,
+    dynamic: bool,
+    hb: bool = False,
+    sanitize: bool = False,
+    hotlint: bool = False,
+    sarif: bool = False,
 ) -> tuple[str, int]:
     """Run the analyzers; exit code 3 when any error-level finding."""
-    from repro.analyze import analyze_app, json_text
+    from repro.analyze import analyze_app, json_text, sarif_log
     from repro.analyze.apps import app_names
+    from repro.analyze.openmp import OMP_APPS, analyze_openmp, omp_app_names
 
     if all_apps:
         names = app_names()
+        if dynamic or sanitize:
+            # The fork-join apps only have an execution to check.
+            names += omp_app_names()
     elif app is not None:
         names = [app]
+    elif hotlint:
+        names = []
     else:
-        raise ReproError("lint needs an app name or --all "
-                         f"(known: {', '.join(app_names())})")
+        known = ", ".join(app_names() + omp_app_names())
+        raise ReproError("lint needs an app name, --all or --hotlint "
+                         f"(known: {known})")
 
-    analyses = [analyze_app(n, dynamic=dynamic) for n in names]
-    code = max((a.exit_code() for a in analyses), default=0)
+    analyses = [
+        analyze_openmp(n, sanitize=sanitize) if n in OMP_APPS
+        else analyze_app(n, dynamic=dynamic, hb_notes=hb, sanitize=sanitize)
+        for n in names
+    ]
+    reports = [a.report for a in analyses]
+    hot_report = None
+    if hotlint:
+        from repro.analyze.hotlint import run_hotlint
+
+        hot_report = run_hotlint()
+        reports.append(hot_report)
+    code = max((r.exit_code() for r in reports), default=0)
+
+    if sarif:
+        return json_text(sarif_log(reports)), code
     if as_json:
         payload = [a.to_dict() for a in analyses]
+        if hot_report is not None:
+            payload.append(hot_report.to_dict())
         return json_text(payload[0] if len(payload) == 1 else payload), code
-    return "\n\n".join(a.to_text() for a in analyses), code
+    chunks = []
+    for a in analyses:
+        text = a.to_text()
+        if hb and a.hb is not None:
+            s = a.hb.summary()
+            text += (
+                f"\nhappens-before replay: {s['events_replayed']} event(s) "
+                f"over {s['rounds']} round(s), {s['touches_checked']} "
+                f"touch(es) checked, {s['delegations']} delegation(s), "
+                f"{s['ops_eligible']} op(s) fully ordered, "
+                f"{s['ops_stalled']} stalled, {s['hb_races']} HB race(s)"
+            )
+        chunks.append(text)
+    if hot_report is not None:
+        chunks.append(hot_report.to_text())
+    return "\n\n".join(chunks), code
 
 
 def _cmd_trace(
@@ -413,7 +472,9 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "dfg":
             out = _cmd_dfg()
         elif args.command == "lint":
-            out, code = _cmd_lint(args.app, args.all, args.json, args.dynamic)
+            out, code = _cmd_lint(args.app, args.all, args.json, args.dynamic,
+                                  args.hb, args.sanitize, args.hotlint,
+                                  args.sarif)
         elif args.command == "trace":
             out = _cmd_trace(args.app, args.out, args.capacity,
                              args.sample_busy, args.core)

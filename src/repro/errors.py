@@ -32,6 +32,10 @@ class DeadlockError(SimulationError):
     """No runnable thread and pending events cannot make progress."""
 
 
+class InvariantViolation(SimulationError):
+    """A checked-mode (REPRO_SANITIZE) simulator invariant failed."""
+
+
 class ORWLError(ReproError):
     """Misuse of the ORWL programming model."""
 

@@ -9,6 +9,8 @@ curves stop scaling past one socket regardless of compact/scatter binding.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.errors import OpenMPError
 from repro.openmp.runtime import OMPResult, OpenMPRuntime
 from repro.sim.params import CostModel
@@ -33,6 +35,7 @@ def threaded_dgemm(
     binding: str | None = None,
     model: CostModel | None = None,
     seed: int = 0,
+    attach: Callable[[OpenMPRuntime], None] | None = None,
 ) -> OMPResult:
     """Run the modeled MKL DGEMM; returns the team's :class:`OMPResult`."""
     if n <= 0:
@@ -73,4 +76,6 @@ def threaded_dgemm(
 
         yield from rt.parallel_for(n_chunks, chunk)
 
+    if attach is not None:
+        attach(omp)
     return omp.run(master)

@@ -103,6 +103,14 @@ class OpenMPRuntime:
         self._work: list[tuple[ChunkBody, range] | None] = [None] * n_threads
         self._shutdown = False
         self._ran = False
+        #: Region observers, called in virtual time as
+        #: ``cb("fork", region_index, n_items)`` when a ``parallel_for``
+        #: deals work to the team and ``cb("join", region_index,
+        #: n_items)`` when its implicit barrier completes. Empty by
+        #: default — the master body pays nothing unless a cross-check
+        #: (see :mod:`repro.analyze.openmp`) registers a callback.
+        self.on_region: list[Callable[[str, int, int], None]] = []
+        self._region_index = 0
 
     # -- app-facing API ---------------------------------------------------------
 
@@ -122,6 +130,10 @@ class OpenMPRuntime:
             raise OpenMPError(f"only static scheduling is modeled, got {schedule!r}")
         if n_items < 0:
             raise OpenMPError("n_items must be >= 0")
+        region = self._region_index
+        self._region_index = region + 1
+        for cb in self.on_region:
+            cb("fork", region, n_items)
         shares = _static_chunks(n_items, self.n_threads)
         for wid in range(1, self.n_threads):
             self._work[wid] = (body, shares[wid])
@@ -132,6 +144,8 @@ class OpenMPRuntime:
         # Implicit barrier: one done per worker.
         for _ in range(1, self.n_threads):
             yield Wait(self._done)
+        for cb in self.on_region:
+            cb("join", region, n_items)
 
     # -- execution -----------------------------------------------------------------
 

@@ -51,6 +51,7 @@ mirror the other — the equivalence tests will catch any drift.
 from __future__ import annotations
 
 import heapq
+import os
 import weakref
 from collections import deque
 from collections.abc import Iterable
@@ -149,10 +150,21 @@ class SimMachine:
         core: str = "auto",
         limits: SimLimits | None = None,
         observer: SimObserver | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         if core not in self.CORES:
             raise SimulationError(f"unknown core {core!r}; known: {self.CORES}")
         self.core = core
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") == "1"
+        #: Checked mode: attach the SimSanitizer's invariant taps during
+        #: run() (repro.analyze.invariants). Default follows the
+        #: REPRO_SANITIZE env var; strictly zero cost when off (one
+        #: boolean test in run()).
+        self.sanitize = bool(sanitize)
+        #: The attached SimSanitizer instance, set by run() when
+        #: sanitizing; None otherwise.
+        self.sanitizer = None
         self.limits = limits or SimLimits()
         self.topology = topology
         self.model = model or CostModel()
@@ -290,6 +302,15 @@ class SimMachine:
         if self._ran:
             raise SimulationError("SimMachine.run may only be called once")
         self._ran = True
+        if self.sanitize:
+            # Checked mode: the sanitizer rides the native monitor and
+            # on_place taps (both cores), then verifies end-state
+            # invariants below. Lazy import — the analyze package is
+            # never paid for on normal runs.
+            from repro.analyze.invariants import SimSanitizer
+
+            self.sanitizer = SimSanitizer(self)
+            self.sanitizer.attach()
         if max_events is None:
             max_events = self.limits.max_events
         unsupported = self._unsupported_taps()
@@ -330,6 +351,8 @@ class SimMachine:
             raise DeadlockError(
                 f"{len(leftover)} thread(s) never finished: {blocked}"
             )
+        if self.sanitizer is not None and not leftover:
+            self.sanitizer.verify(self)
         return self.elapsed_seconds
 
     def _run_batched(
@@ -774,12 +797,16 @@ class SimMachine:
                                 j += 3
                             if k >= batch_min and processed + k <= budget:
                                 threads_b = bb[2:3 * k:3]
+                                # hotlint: ok(alloc) — the genexps and the
+                                # enumerate below amortize over k >= batch_min
+                                # events per allocation; that is the point of
+                                # the vectorized batch.
                                 cur = np.fromiter(
-                                    (t.cur_chunk for t in threads_b),
+                                    (t.cur_chunk for t in threads_b),  # hotlint: ok(alloc)
                                     dtype=np.float64, count=k,
                                 )
                                 su = np.fromiter(
-                                    (t.slice_used for t in threads_b),
+                                    (t.slice_used for t in threads_b),  # hotlint: ok(alloc)
                                     dtype=np.float64, count=k,
                                 )
                                 su += cur
@@ -790,7 +817,7 @@ class SimMachine:
                                 else:
                                     bl = None
                                 pend = np.fromiter(
-                                    (t.pending_busy for t in threads_b),
+                                    (t.pending_busy for t in threads_b),  # hotlint: ok(alloc)
                                     dtype=np.float64, count=k,
                                 )
                                 chunk = np.minimum(pend, timeslice - su)
@@ -799,7 +826,7 @@ class SimMachine:
                                 pend_l = (pend - chunk).tolist()
                                 when_l = (now + chunk).tolist()
                                 s = eng._seq
-                                for i, t in enumerate(threads_b):
+                                for i, t in enumerate(threads_b):  # hotlint: ok(alloc)
                                     if ring_busy_period:
                                         # Same interleave as the scalar
                                         # EV_BUSY handler: record, then
@@ -1011,7 +1038,12 @@ class SimMachine:
                                     if present and (
                                         len(present) > 1 or l3_idx not in present
                                     ):
-                                        for idx in sorted(present):
+                                        # sorted() fires only on writes to
+                                        # cross-L3-shared buffers and the
+                                        # presence sets are a handful of L3
+                                        # indices; determinism of the
+                                        # invalidation order is worth it.
+                                        for idx in sorted(present):  # hotlint: ok(alloc)
                                             if idx != l3_idx:
                                                 l3s[idx].invalidate(buf_id)
                                 if is_compute and sib_compute[pu]:
@@ -1050,7 +1082,9 @@ class SimMachine:
                                             len(present) > 1
                                             or l3_idx not in present
                                         ):
-                                            for idx in sorted(present):
+                                            # Same deterministic-order pump
+                                            # as the all-hit branch above.
+                                            for idx in sorted(present):  # hotlint: ok(alloc)
                                                 if idx != l3_idx:
                                                     l3s[idx].invalidate(buf_id)
                                 else:
@@ -1085,15 +1119,19 @@ class SimMachine:
                                     if ps is None:
                                         # Fresh singleton: no other L3 can
                                         # hold the buffer, so a write has
-                                        # nothing to invalidate.
-                                        presence[buf_id] = {l3_idx}
+                                        # nothing to invalidate. Allocated
+                                        # once per (buffer, first install),
+                                        # not per event.
+                                        presence[buf_id] = {l3_idx}  # hotlint: ok(alloc)
                                     else:
                                         ps.add(l3_idx)
                                         # l3_idx is in ps by construction:
                                         # the original presence test
                                         # reduces to len > 1.
                                         if op.write and winv and len(ps) > 1:
-                                            for idx in sorted(ps):
+                                            # Same deterministic-order pump
+                                            # as the all-hit branch above.
+                                            for idx in sorted(ps):  # hotlint: ok(alloc)
                                                 if idx != l3_idx:
                                                     l3s[idx].invalidate(
                                                         buf_id

@@ -1,0 +1,43 @@
+"""Use-after-release: a task keeps touching its buffer past release.
+
+Task ``owner`` writes its location under a proper iterative write
+handle, releases — and then pokes the buffer again with a raw ``Touch``
+outside any critical section. The reader's grant clock covers the
+owner's work only *up to* the release, so the stale write is
+HB-concurrent with the reader's access. Expected: ``data-race``
+(read/write) with verdict ``CONFIRMED``.
+"""
+
+from repro.orwl import Runtime
+from repro.sim.process import Touch
+from repro.topology import fig2_machine
+
+ROUNDS = 2
+
+
+def build():
+    rt = Runtime(fig2_machine(), affinity=False)
+    owner = rt.task("owner")
+    reader = rt.task("reader")
+    loc = owner.location("cell", 4096)
+    hw = owner.write_handle(loc, iterative=True)
+    hr = reader.read_handle(loc, iterative=True)
+
+    def owner_body(op):
+        for _ in range(ROUNDS):
+            yield from hw.acquire()
+            yield hw.touch()
+            hw.release()
+            # The bug: the buffer is mutated again after the handle is
+            # gone — nothing orders this against the reader's round.
+            yield Touch(loc.buffer, 64, write=True)
+
+    def reader_body(op):
+        for _ in range(ROUNDS):
+            yield from hr.acquire()
+            yield hr.touch()
+            hr.release()
+
+    owner.set_body(owner_body)
+    reader.set_body(reader_body)
+    return rt

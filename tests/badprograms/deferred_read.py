@@ -1,0 +1,58 @@
+"""Delegated release, pending-attach flavour — also a false positive.
+
+Like :mod:`tests.badprograms.split_ok`, but the dispatcher releases
+``frame`` *before* ``work``: at that instant the worker group is not
+active yet (the dispatcher's own ``w(work)`` still blocks it), so the
+delegation parks on the work FIFO and attaches when the workers'
+read group activates on the next epoch. Either release order is safe —
+the frame stays locked until the delegates drain. Expected:
+``race-ordered`` note with verdict ``ORDERED``, no ``data-race`` error.
+"""
+
+from repro.orwl import Runtime
+from repro.sim.process import Touch
+from repro.topology import fig2_machine
+
+ROUNDS = 2
+DESC = 256
+
+
+def build():
+    rt = Runtime(fig2_machine(), affinity=False)
+    producer = rt.task("producer")
+    dispatcher = rt.task("dispatcher")
+    worker = rt.task("worker")
+
+    loc_frame = producer.location("frame", 65536)
+    loc_work = dispatcher.location("work", 4096)
+
+    h_prod = producer.write_handle(loc_frame, iterative=True)
+    h_disp_frame = dispatcher.read_handle(loc_frame, iterative=True)
+    h_disp_work = dispatcher.write_handle(loc_work, iterative=True)
+    h_work = worker.read_handle(loc_work, iterative=True)
+
+    def producer_body(op):
+        for _ in range(ROUNDS):
+            yield from h_prod.acquire()
+            yield h_prod.touch()
+            h_prod.release()
+
+    def dispatcher_body(op):
+        for _ in range(ROUNDS):
+            yield from h_disp_frame.acquire()
+            yield from h_disp_work.acquire()
+            yield h_disp_frame.touch(DESC)
+            yield h_disp_work.touch(DESC)  # published under r(frame)
+            h_disp_frame.release()  # defers while w(work) is still held
+            h_disp_work.release()  # now the delegates activate
+
+    def worker_body(op):
+        for _ in range(ROUNDS):
+            yield from h_work.acquire()
+            yield Touch(loc_frame.buffer, 4096)
+            h_work.release()
+
+    producer.set_body(producer_body)
+    dispatcher.set_body(dispatcher_body)
+    worker.set_body(worker_body)
+    return rt

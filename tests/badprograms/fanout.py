@@ -1,0 +1,68 @@
+"""Fan-out publication: one frame scattered to two worker queues.
+
+The dispatcher holds ``r(frame)`` and publishes descriptors into *two*
+work locations; each worker pulls its strip straight from the frame
+buffer. The frame's deferred release must wait for **both** worker
+groups — a detector that tracks a single delegation target forgets the
+first one and flags worker A. Expected: two ``race-ordered`` notes with
+verdict ``ORDERED``, no ``data-race`` error.
+"""
+
+from repro.orwl import Runtime
+from repro.sim.process import Touch
+from repro.topology import fig2_machine
+
+ROUNDS = 2
+DESC = 256
+
+
+def build():
+    rt = Runtime(fig2_machine(), affinity=False)
+    producer = rt.task("producer")
+    dispatcher = rt.task("dispatcher")
+    worker_a = rt.task("worker_a")
+    worker_b = rt.task("worker_b")
+
+    loc_frame = producer.location("frame", 65536)
+    loc_work_a = dispatcher.location("work_a", 4096)
+    loc_work_b = dispatcher.location("work_b", 4096)
+
+    h_prod = producer.write_handle(loc_frame, iterative=True)
+    h_disp_frame = dispatcher.read_handle(loc_frame, iterative=True)
+    h_disp_a = dispatcher.write_handle(loc_work_a, iterative=True)
+    h_disp_b = dispatcher.write_handle(loc_work_b, iterative=True)
+    h_wa = worker_a.read_handle(loc_work_a, iterative=True)
+    h_wb = worker_b.read_handle(loc_work_b, iterative=True)
+
+    def producer_body(op):
+        for _ in range(ROUNDS):
+            yield from h_prod.acquire()
+            yield h_prod.touch()
+            h_prod.release()
+
+    def dispatcher_body(op):
+        for _ in range(ROUNDS):
+            yield from h_disp_frame.acquire()
+            yield from h_disp_a.acquire()
+            yield from h_disp_b.acquire()
+            yield h_disp_frame.touch(DESC)
+            yield h_disp_a.touch(DESC)  # first publication target
+            yield h_disp_b.touch(DESC)  # second — must not displace it
+            h_disp_a.release()
+            h_disp_b.release()
+            h_disp_frame.release()  # waits for both worker groups
+
+    def worker_body(handle):
+        def gen(op):
+            for _ in range(ROUNDS):
+                yield from handle.acquire()
+                yield Touch(loc_frame.buffer, 4096)
+                handle.release()
+
+        return gen
+
+    producer.set_body(producer_body)
+    dispatcher.set_body(dispatcher_body)
+    worker_a.set_body(worker_body(h_wa))
+    worker_b.set_body(worker_body(h_wb))
+    return rt

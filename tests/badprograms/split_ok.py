@@ -1,0 +1,59 @@
+"""The correct zero-copy split — a lockset false positive, not a race.
+
+Same shape as :mod:`tests.badprograms.unordered_split`, but the
+dispatcher writes the work descriptor *while still holding*
+``r(frame)`` and releases ``work`` before ``frame``. The publication
+delegates the frame release to the worker group (which is already
+active when ``frame`` is released — the live-watch path), so the
+producer's next write happens-after the worker's raw read. The empty
+common lockset is a false alarm. Expected: ``race-ordered`` note with
+verdict ``ORDERED``, no ``data-race`` error.
+"""
+
+from repro.orwl import Runtime
+from repro.sim.process import Touch
+from repro.topology import fig2_machine
+
+ROUNDS = 2
+DESC = 256
+
+
+def build():
+    rt = Runtime(fig2_machine(), affinity=False)
+    producer = rt.task("producer")
+    dispatcher = rt.task("dispatcher")
+    worker = rt.task("worker")
+
+    loc_frame = producer.location("frame", 65536)
+    loc_work = dispatcher.location("work", 4096)
+
+    h_prod = producer.write_handle(loc_frame, iterative=True)
+    h_disp_frame = dispatcher.read_handle(loc_frame, iterative=True)
+    h_disp_work = dispatcher.write_handle(loc_work, iterative=True)
+    h_work = worker.read_handle(loc_work, iterative=True)
+
+    def producer_body(op):
+        for _ in range(ROUNDS):
+            yield from h_prod.acquire()
+            yield h_prod.touch()
+            h_prod.release()
+
+    def dispatcher_body(op):
+        for _ in range(ROUNDS):
+            yield from h_disp_frame.acquire()
+            yield from h_disp_work.acquire()
+            yield h_disp_frame.touch(DESC)
+            yield h_disp_work.touch(DESC)  # published under r(frame)
+            h_disp_work.release()  # workers activate first ...
+            h_disp_frame.release()  # ... then frame defers to them
+
+    def worker_body(op):
+        for _ in range(ROUNDS):
+            yield from h_work.acquire()
+            yield Touch(loc_frame.buffer, 4096)
+            h_work.release()
+
+    producer.set_body(producer_body)
+    dispatcher.set_body(dispatcher_body)
+    worker.set_body(worker_body)
+    return rt

@@ -1,0 +1,62 @@
+"""A broken zero-copy split: the descriptor is published too late.
+
+The dispatcher copies the video pipeline's ``orwl_split`` idiom but
+releases its read handle on ``frame`` *before* writing the work
+descriptor. Without ``r(frame)`` held at publication time there is no
+delegated release: the frame FIFO moves on immediately, so the
+producer's next-round write is HB-concurrent with the worker's raw
+strip read. Expected: ``data-race`` (read/write) with verdict
+``CONFIRMED`` — the lockset candidate is real here, unlike in
+:mod:`tests.badprograms.split_ok`.
+"""
+
+from repro.orwl import Runtime
+from repro.sim.process import Touch
+from repro.topology import fig2_machine
+
+ROUNDS = 2
+DESC = 256
+
+
+def build():
+    rt = Runtime(fig2_machine(), affinity=False)
+    producer = rt.task("producer")
+    dispatcher = rt.task("dispatcher")
+    worker = rt.task("worker")
+
+    loc_frame = producer.location("frame", 65536)
+    loc_work = dispatcher.location("work", 4096)
+
+    h_prod = producer.write_handle(loc_frame, iterative=True)
+    h_disp_frame = dispatcher.read_handle(loc_frame, iterative=True)
+    h_disp_work = dispatcher.write_handle(loc_work, iterative=True)
+    h_work = worker.read_handle(loc_work, iterative=True)
+
+    def producer_body(op):
+        for _ in range(ROUNDS):
+            yield from h_prod.acquire()
+            yield h_prod.touch()
+            h_prod.release()
+
+    def dispatcher_body(op):
+        for _ in range(ROUNDS):
+            yield from h_disp_frame.acquire()
+            yield from h_disp_work.acquire()
+            yield h_disp_frame.touch(DESC)
+            # The bug: frame is let go before the descriptor write, so
+            # the worker's view of the frame is never protected.
+            h_disp_frame.release()
+            yield h_disp_work.touch(DESC)
+            h_disp_work.release()
+
+    def worker_body(op):
+        for _ in range(ROUNDS):
+            yield from h_work.acquire()
+            # Zero-copy read straight from the producer's frame buffer.
+            yield Touch(loc_frame.buffer, 4096)
+            h_work.release()
+
+    producer.set_body(producer_body)
+    dispatcher.set_body(dispatcher_body)
+    worker.set_body(worker_body)
+    return rt

@@ -26,7 +26,7 @@ calls before spending hours on experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from random import Random
 
 from repro.apps.lk23 import Lk23Config, build_orwl_lk23

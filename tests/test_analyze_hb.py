@@ -1,0 +1,113 @@
+"""Happens-before gallery: exact verdicts for races and FP idioms.
+
+Three true races (``race``, ``aba_reuse``, ``unordered_split``) must
+come back ``CONFIRMED``; three protocol-correct idioms that fool the
+lockset heuristic (``split_ok``, ``deferred_read``, ``fanout``) must
+come back ``ORDERED`` — suppressed as errors, surfaced as notes under
+``hb_notes``. The verdicts are asserted exactly: nothing stronger,
+nothing weaker.
+"""
+
+import pytest
+
+from repro.analyze import analyze
+from tests.badprograms import (
+    aba_reuse,
+    deferred_read,
+    fanout,
+    race,
+    split_ok,
+    unordered_split,
+)
+
+
+def race_errors(report):
+    return [f for f in report.findings if f.code == "data-race"]
+
+
+def ordered_notes(report):
+    return [f for f in report.findings if f.code == "race-ordered"]
+
+
+class TestConfirmedRaces:
+    """True races: the replay must confirm, never downgrade."""
+
+    @pytest.mark.parametrize(
+        "mod,name,buffer,kind",
+        [
+            (race, "race", "shared", "write/write"),
+            (aba_reuse, "aba_reuse", "cell", "read/write"),
+            (unordered_split, "unordered_split", "frame", "read/write"),
+        ],
+    )
+    def test_confirmed(self, mod, name, buffer, kind):
+        a = analyze(mod.build, name=name)
+        errors = race_errors(a.static)
+        assert len(errors) == 1
+        f = errors[0]
+        assert f.verdict == "CONFIRMED"
+        assert f.subject == buffer
+        assert kind in f.message
+        assert a.exit_code() == 3
+
+    def test_replay_covers_every_candidate(self):
+        # No stalls, no forgiveness needed: the verdicts are grounded.
+        for mod, name in [(aba_reuse, "aba"), (unordered_split, "split")]:
+            a = analyze(mod.build, name=name)
+            assert a.hb is not None
+            assert not a.hb.stalled
+            assert all(a.hb.eligible.values())
+
+
+class TestOrderedIdioms:
+    """Lockset false positives the delegation rule must absorb."""
+
+    @pytest.mark.parametrize(
+        "mod,name,n_notes,n_delegations",
+        [
+            (split_ok, "split_ok", 1, 3),  # live-watch attach path
+            (deferred_read, "deferred_read", 1, 3),  # pending attach path
+            (fanout, "fanout", 2, 6),  # two targets per publication
+        ],
+    )
+    def test_ordered(self, mod, name, n_notes, n_delegations):
+        a = analyze(mod.build, name=name, hb_notes=True)
+        assert race_errors(a.static) == []
+        notes = ordered_notes(a.static)
+        assert len(notes) == n_notes
+        assert all(f.verdict == "ORDERED" for f in notes)
+        assert all(f.subject == "frame" for f in notes)
+        assert a.hb is not None and a.hb.delegations == n_delegations
+        assert a.exit_code() == 0
+
+    def test_notes_off_by_default(self):
+        a = analyze(split_ok.build, name="split_ok")
+        assert ordered_notes(a.static) == []
+        assert race_errors(a.static) == []
+
+    def test_fanout_waits_for_both_workers(self):
+        # The frame's deferred release must gate on BOTH worker groups;
+        # a single-target detector would flag worker_a as racing.
+        a = analyze(fanout.build, name="fanout", hb_notes=True)
+        raced_names = {
+            f.message for f in a.static.findings if f.code == "data-race"
+        }
+        assert raced_names == set()
+        names = {n.message.split("(")[1].split(",")[0]
+                 for n in ordered_notes(a.static)}
+        assert names == {"producer/op0 vs worker_a/op0",
+                         "producer/op0 vs worker_b/op0"}
+
+
+class TestDynamicAgreement:
+    """The monitored execution agrees with the replay's verdicts."""
+
+    def test_confirmed_race_also_fires_dynamically(self):
+        a = analyze(aba_reuse.build, name="aba_reuse", dynamic=True)
+        codes = {f.code for f in a.dynamic.findings}
+        assert "race-confirmed" in codes
+
+    def test_ordered_idiom_has_no_dynamic_race(self):
+        a = analyze(split_ok.build, name="split_ok", dynamic=True)
+        codes = {f.code for f in a.dynamic.findings}
+        assert "race-confirmed" not in codes

@@ -135,7 +135,8 @@ class TestMapCommand:
 class TestLintCommand:
     def test_lint_needs_app_or_all(self, capsys):
         assert main(["lint"]) == 2
-        assert "lint needs an app name or --all" in capsys.readouterr().err
+        assert ("lint needs an app name, --all or --hotlint"
+                in capsys.readouterr().err)
 
     def test_lint_unknown_app(self, capsys):
         assert main(["lint", "nosuch"]) == 2
@@ -171,3 +172,33 @@ class TestLintCommand:
         monkeypatch.setitem(apps_mod.APP_BUILDERS, "cyclic", cyclic.build)
         assert main(["lint", "cyclic"]) == 3
         assert "deadlock-cycle" in capsys.readouterr().out
+
+    def test_lint_hb_summary_line(self, capsys):
+        assert main(["lint", "matmul", "--hb"]) == 0
+        assert "happens-before replay:" in capsys.readouterr().out
+
+    def test_lint_hotlint_clean(self, capsys):
+        assert main(["lint", "--hotlint"]) == 0
+        assert "analysis of hotlint" in capsys.readouterr().out
+
+    def test_lint_sanitize_reports_clean_checks(self, capsys):
+        assert main(["lint", "matmul", "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer-clean" in out
+        assert "invariant check(s) held" in out
+
+    def test_lint_sarif_document(self, capsys):
+        import json
+
+        assert main(["lint", "matmul", "--hotlint", "--sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert len(doc["runs"]) == 1
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-analyze"
+
+    def test_lint_openmp_app_dynamic(self, capsys):
+        assert main(["lint", "omp-dgemm", "--dynamic"]) == 0
+        out = capsys.readouterr().out
+        assert "omp-regions-balanced" in out
+        assert "migrations-zero-confirmed" in out

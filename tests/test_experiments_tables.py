@@ -1,6 +1,5 @@
 """Tiny-scale unit tests for the counter-table generators."""
 
-import pytest
 
 from repro.experiments import (
     TINY,

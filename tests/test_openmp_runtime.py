@@ -6,7 +6,7 @@ from repro.errors import OpenMPError
 from repro.openmp import OpenMPRuntime, omp_binding, threaded_dgemm
 from repro.openmp.runtime import _static_chunks
 from repro.sim.process import Compute, Touch
-from repro.topology import fig2_machine, smp12e5, smp20e7
+from repro.topology import fig2_machine, smp12e5
 
 
 class TestStaticChunks:

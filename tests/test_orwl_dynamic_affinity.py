@@ -9,8 +9,6 @@ Simulated-thread bodies may call these synchronously between yields; new
 bindings take effect at each thread's next dispatch.
 """
 
-import numpy as np
-import pytest
 
 from repro.orwl import Runtime
 from repro.sim.process import Compute

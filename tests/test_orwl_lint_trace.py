@@ -1,6 +1,5 @@
 """Tests for the program linter and the trace Gantt rendering."""
 
-import pytest
 
 from repro.orwl import Runtime
 from repro.sim.process import Compute

@@ -1,6 +1,5 @@
 """Direct unit tests for the cache/memory models (below machine level)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,5 @@
 """Randomized stress tests: simulator invariants under arbitrary programs."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import MappingError
-from repro.topology import TopologySpec, build_topology, fig2_machine, smp12e5, smp20e7
+from repro.topology import fig2_machine, smp12e5, smp20e7
 from repro.treematch import (
     CommunicationMatrix,
     compact_placement,

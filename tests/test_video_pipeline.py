@@ -1,6 +1,5 @@
 """Integration tests for the 30-task video-tracking pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.apps.video import (
