@@ -15,15 +15,18 @@ Two modes:
 ``python scripts/bench_repro.py --check [--tolerance 0.2]``
     Fast preflight (no pytest): runs the engine event-throughput ring
     inline and exits 1 if it processes <= 2_000 events — the same floor
-    ``test_engine_event_throughput`` asserts. Two *paired-ratio*
+    ``test_engine_event_throughput`` asserts. Three *paired-ratio*
     regression gates follow, each the median of back-to-back per-pair
     time ratios measured on this machine (recorded absolute rates are
     never compared against — they swing tens of percent between runs on
     the shared container): the batched core must keep a real edge over
     the object core (recorded speedup discounted 50%, floored at 1.2x),
-    and the fully tapped run must stay within ``--tolerance`` (default
-    20%) of the untapped batched run. ``regenerate_all.py`` calls this
-    before spending minutes on figures.
+    the fully tapped run must stay within ``--tolerance`` (default
+    20%) of the untapped batched run, and the TreeMatch mapping probe
+    (greedy p=1024 + multilevel p=4096) must stay within 2x of its
+    recorded ratio against a numpy matmul canary (informational until a
+    ratio is recorded). ``regenerate_all.py`` calls this before spending
+    minutes on figures.
 """
 
 from __future__ import annotations
@@ -52,6 +55,19 @@ MAPPING_SIZES = (128, 512, 2048, 4096)
 #: larger sizes are recorded as skipped instead of run — keeps a run on a
 #: slow (pre-optimization) tree from taking tens of minutes.
 MAPPING_BUDGET_S = 60.0
+
+#: Task counts of the sparse multilevel scaling probes (ISSUE 7): the
+#: 10^5 point must land in single-digit seconds, the 10^6 point must
+#: complete at all (it is the dense-n² infeasibility demonstrator).
+MAPPING_SCALE_SIZES = (100_000, 1_000_000)
+
+#: Separate, larger budget for the scale probes — a million-task map is
+#: allowed minutes, and skipping it on a slow tree is still recorded.
+MAPPING_SCALE_BUDGET_S = 240.0
+
+#: Sizes at which the multilevel sweep also records its placement cost
+#: relative to the dense greedy+refine engine (quality gate: <= 1.05).
+MAPPING_QUALITY_SIZES = (512, 2048, 4096)
 
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
@@ -128,7 +144,11 @@ def mapping_benchmarks() -> dict:
     import numpy as np  # noqa: F401  (keeps the import cost out of the timing)
 
     from repro.topology import smp20e7
-    from repro.treematch import CommunicationMatrix, treematch_map
+    from repro.treematch import (
+        CommunicationMatrix,
+        multilevel_map,
+        treematch_map,
+    )
     from repro.treematch.grouping import (
         group_greedy,
         intra_group_weight,
@@ -137,20 +157,22 @@ def mapping_benchmarks() -> dict:
 
     topo = smp20e7()
     out: dict = {}
+    greedy_costs: dict[int, float] = {}
 
-    def sweep(kind: str, run) -> None:
+    def sweep(kind: str, run, *, sizes=MAPPING_SIZES,
+              budget=MAPPING_BUDGET_S) -> None:
         entries: dict = {}
         over_budget = False
-        for p in MAPPING_SIZES:
+        for p in sizes:
             if over_budget:
                 entries[str(p)] = {"skipped": True,
-                                   "reason": f"budget {MAPPING_BUDGET_S}s"}
+                                   "reason": f"budget {budget}s"}
                 continue
             entry = run(p)
             entries[str(p)] = entry
             print(f"  mapping {kind} p={p}: {entry['seconds']:.3f}s",
                   flush=True)
-            if entry["seconds"] > MAPPING_BUDGET_S:
+            if entry["seconds"] > budget:
                 over_budget = True
         out[kind] = entries
 
@@ -178,13 +200,51 @@ def mapping_benchmarks() -> dict:
         t0 = time.perf_counter()
         pl = treematch_map(topo, comm)
         dt = time.perf_counter() - t0
+        entry = {"seconds": dt,
+                 "oversub_factor": pl.oversub_factor,
+                 "threads_bound": len(pl.thread_to_pu)}
+        if p in MAPPING_QUALITY_SIZES:
+            cost = pl.cost(topo, comm)
+            greedy_costs[p] = cost
+            entry["cost"] = cost
+        return entry
+
+    def bench_multilevel(p: int) -> dict:
+        comm = CommunicationMatrix.stencil2d(p)
+        t0 = time.perf_counter()
+        pl = multilevel_map(topo, comm)
+        dt = time.perf_counter() - t0
+        entry = {"seconds": dt,
+                 "oversub_factor": pl.oversub_factor,
+                 "threads_bound": len(pl.thread_to_pu)}
+        if p in MAPPING_QUALITY_SIZES and greedy_costs.get(p):
+            cost = pl.cost(topo, comm)
+            entry["cost"] = cost
+            entry["cost_vs_greedy"] = round(cost / greedy_costs[p], 4)
+        return entry
+
+    def bench_multilevel_scale(p: int) -> dict:
+        # CSR end to end: build, affinity, coarsen, bisect — no O(p²)
+        # array ever exists (dense would be 8 TB at 10^6 tasks).
+        t0 = time.perf_counter()
+        comm = CommunicationMatrix.stencil2d(p, sparse=True)
+        build_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pl = multilevel_map(topo, comm)
+        dt = time.perf_counter() - t0
         return {"seconds": dt,
+                "build_seconds": build_s,
+                "sparse": comm.is_sparse,
+                "nnz": comm.nnz,
                 "oversub_factor": pl.oversub_factor,
                 "threads_bound": len(pl.thread_to_pu)}
 
     sweep("group", bench_group)
     sweep("refine", bench_refine)
     sweep("full_map", bench_full_map)
+    sweep("multilevel", bench_multilevel)
+    sweep("multilevel_scale", bench_multilevel_scale,
+          sizes=MAPPING_SCALE_SIZES, budget=MAPPING_SCALE_BUDGET_S)
     return out
 
 
@@ -252,6 +312,44 @@ def pytest_benchmarks() -> dict:
     return out
 
 
+def mapping_probe() -> tuple[int, float]:
+    """Fixed mapping workload for the paired ``--check`` gate.
+
+    One dense greedy+refine map (p=1024) plus one multilevel map
+    (p=4096, auto-CSR) — together they cross every hot loop ISSUE 3 and
+    ISSUE 7 optimized: ``group_greedy``, ``refine_groups``, coarsening,
+    bisection, and the sparse matrix plumbing. Deterministic; returns
+    ``(1, seconds)`` so it plugs into :func:`_paired_ratios`.
+    """
+    from repro.topology import smp20e7
+    from repro.treematch import (
+        CommunicationMatrix,
+        multilevel_map,
+        treematch_map,
+    )
+
+    topo = smp20e7()
+    t0 = time.perf_counter()
+    treematch_map(topo, CommunicationMatrix.stencil2d(1024))
+    multilevel_map(topo, CommunicationMatrix.stencil2d(4096))
+    return 1, time.perf_counter() - t0
+
+
+def numpy_canary() -> tuple[int, float]:
+    """Machine-speed canary paired against :func:`mapping_probe`.
+
+    A fixed dense matmul whose wall-clock tracks the container's current
+    compute throughput; the probe/canary time ratio cancels machine
+    drift the same way the engine gates' paired ratios do.
+    """
+    import numpy as np
+
+    a = np.linspace(0.0, 1.0, 1024 * 1024).reshape(1024, 1024)
+    t0 = time.perf_counter()
+    (a @ a).sum()
+    return 1, time.perf_counter() - t0
+
+
 def _paired_ratios(run_num, run_den, pairs: int) -> tuple[list, float, float]:
     """Back-to-back pairs of two probes; per-pair ``dt_num / dt_den``.
 
@@ -307,6 +405,7 @@ def run_check(tolerance: float = 0.2, reps: int = 3) -> int:
     if not ok:
         return 1
 
+    recorded = None
     recorded_speedup = None
     if OUT_PATH.exists():
         try:
@@ -355,7 +454,37 @@ def run_check(tolerance: float = 0.2, reps: int = 3) -> int:
         f"untapped {rate_b:,.0f}, median paired overhead {overhead:+.1%} "
         f"(allowed <= {tolerance:.0%}) [{verdict}]"
     )
-    return 1 if traced_regressed else 0
+    if traced_regressed:
+        return 1
+
+    # Mapping gate: probe vs numpy canary, paired — same discipline as
+    # the engine gates. The recorded ratio gets 2x headroom (cache state
+    # and BLAS threading move the two sides differently on the shared
+    # container); without a recorded ratio the result is informational.
+    recorded_ratio = None
+    if isinstance(recorded, dict):
+        recorded_ratio = recorded.get("mapping_check", {}).get(
+            "probe_vs_canary_ratio"
+        )
+    ratios, _, _ = _paired_ratios(mapping_probe, numpy_canary, reps)
+    ratio = statistics.median(ratios) if ratios else float("inf")
+    if recorded_ratio:
+        allowed = recorded_ratio * 2.0
+        map_regressed = ratio > allowed
+        verdict = "REGRESSION" if map_regressed else "ok"
+        print(
+            f"bench_repro --check: mapping probe/canary ratio {ratio:.2f} "
+            f"(recorded {recorded_ratio:.2f}, allowed <= {allowed:.2f}) "
+            f"[{verdict}]"
+        )
+        if map_regressed:
+            return 1
+    else:
+        print(
+            f"bench_repro --check: mapping probe/canary ratio {ratio:.2f} "
+            f"(no recorded ratio — informational)"
+        )
+    return 0
 
 
 def run_full() -> int:
@@ -385,6 +514,13 @@ def run_full() -> int:
     probe = fig4_probe()
     print("running mapping benchmarks ...", flush=True)
     mapping = mapping_benchmarks()
+    print("running mapping probe/canary pairs ...", flush=True)
+    import statistics
+
+    map_ratios, _, _ = _paired_ratios(mapping_probe, numpy_canary, 3)
+    map_ratio = (
+        round(statistics.median(map_ratios), 3) if map_ratios else None
+    )
 
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -412,6 +548,7 @@ def run_full() -> int:
         "pytest_benchmarks": benches,
         "fig4_quick_probe": probe,
         "mapping_bench": mapping,
+        "mapping_check": {"probe_vs_canary_ratio": map_ratio},
     }
     speedups = mapping_speedups(mapping, previous)
     if speedups:

@@ -94,6 +94,13 @@ HOT_TARGETS: tuple[tuple[str, str, tuple[str, ...]], ...] = (
     ("repro/sim/cache.py", "CacheSystem.touch", ("alloc", "tap")),
     ("repro/sim/observe.py", "RingTrace._bind_add", ("alloc",)),
     ("repro/sim/observe.py", "SimObserver.fold", ("alloc",)),
+    # Mapping-engine hot loops (ISSUE 7): the per-edge matching loop
+    # runs O(|E|) times per coarsening level, greedy growing and the
+    # grouping grow loop run O(n) selection steps per split.
+    ("repro/treematch/coarsen.py", "heavy_edge_matching", ("alloc",)),
+    ("repro/treematch/bisect.py", "_grow_side", ("alloc",)),
+    ("repro/treematch/bisect.py", "_rebalance_exact", ("alloc",)),
+    ("repro/treematch/grouping.py", "group_greedy", ("alloc",)),
 )
 
 #: Classes that must keep ``__slots__`` (path -> class names).

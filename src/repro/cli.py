@@ -89,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pin the grouping engine (default: size-based)")
     p_map.add_argument("--no-refine", action="store_true",
                        help="skip the swap-refinement pass after grouping")
+    p_map.add_argument("--strategy", choices=("auto", "greedy", "multilevel"),
+                       default="auto",
+                       help="mapping engine: greedy = dense group+refine, "
+                            "multilevel = coarsening + recursive bisection "
+                            "for very large task counts (default: auto = "
+                            "cut over by task count)")
+    p_map.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for multilevel subtree "
+                            "fan-out (default 1 = in-process; 0 = one per "
+                            "CPU)")
     p_map.add_argument("--json", action="store_true",
                        help="emit the placement and costs as JSON")
 
@@ -269,13 +279,16 @@ def _cmd_map(
     engine: str | None,
     refine: bool,
     as_json: bool,
+    strategy: str = "auto",
+    jobs: int = 1,
 ) -> str:
-    """Run ``treematch_map`` on a synthetic pattern and report its cost."""
+    """Run the selected mapping engine on a synthetic pattern."""
     import time
 
     from repro.topology import machine_by_name
     from repro.treematch.commmatrix import CommunicationMatrix
-    from repro.treematch.mapping import treematch_map
+    from repro.treematch.mapping import multilevel_map, treematch_map
+    from repro.treematch.strategies import mapping_strategy
 
     topo = machine_by_name(machine)
     if pattern == "stencil":
@@ -287,8 +300,12 @@ def _cmd_map(
             if threads > 1 else {},
         )
 
+    resolved = mapping_strategy(strategy, comm.order)
     t0 = time.perf_counter()
-    placement = treematch_map(topo, comm, engine=engine, refine=refine)
+    if resolved == "multilevel":
+        placement = multilevel_map(topo, comm, n_jobs=jobs)
+    else:
+        placement = treematch_map(topo, comm, engine=engine, refine=refine)
     elapsed = time.perf_counter() - t0
     cost = placement.cost(topo, comm)
     slit = placement.slit_cost(topo, comm)
@@ -300,6 +317,7 @@ def _cmd_map(
             "machine": machine,
             "threads": threads,
             "pattern": pattern,
+            "strategy": resolved,
             "engine": engine or "auto",
             "refine": refine,
             "seconds": round(elapsed, 4),
@@ -311,7 +329,7 @@ def _cmd_map(
     used = sorted(set(placement.thread_to_pu.values()))
     lines = [
         f"TreeMatch placement: {threads} {pattern} threads on {machine}",
-        f"  engine={engine or 'auto'} refine={refine} "
+        f"  strategy={resolved} engine={engine or 'auto'} refine={refine} "
         f"granularity={placement.granularity} "
         f"oversubscription={placement.oversub_factor}x",
         f"  solved in {elapsed:.3f} s; tree-distance cost {cost:.0f}, "
@@ -468,7 +486,8 @@ def main(argv: list[str] | None = None) -> int:
             out = _cmd_fig(2, None)
         elif args.command == "map":
             out = _cmd_map(args.machine, args.threads, args.pattern,
-                           args.engine, not args.no_refine, args.json)
+                           args.engine, not args.no_refine, args.json,
+                           args.strategy, args.jobs)
         elif args.command == "dfg":
             out = _cmd_dfg()
         elif args.command == "lint":

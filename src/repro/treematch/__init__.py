@@ -15,12 +15,17 @@ from repro.treematch.commmatrix import CommunicationMatrix
 from repro.treematch.control import ControlPlan, extend_for_control_threads
 from repro.treematch.grouping import group_processes
 from repro.treematch.maporder import child_distance_matrix, order_top_groups
-from repro.treematch.mapping import Placement, treematch_map
+from repro.treematch.bisect import split_k
+from repro.treematch.coarsen import coarsen
+from repro.treematch.mapping import Placement, multilevel_map, treematch_map
 from repro.treematch.oversub import manage_oversubscription
 from repro.treematch.strategies import (
+    MULTILEVEL_CUTOVER,
     compact_placement,
     cores_close_placement,
     cores_spread_placement,
+    map_with_strategy,
+    mapping_strategy,
     scatter_placement,
     sequential_placement,
     strategy_by_name,
@@ -35,6 +40,12 @@ __all__ = [
     "extend_for_control_threads",
     "Placement",
     "treematch_map",
+    "multilevel_map",
+    "map_with_strategy",
+    "mapping_strategy",
+    "MULTILEVEL_CUTOVER",
+    "coarsen",
+    "split_k",
     "child_distance_matrix",
     "order_top_groups",
     "compact_placement",

@@ -3,6 +3,10 @@
 After grouping at a tree level, the next level up sees each group as one
 entity; the aggregated matrix entry ``[gi, gj]`` is the total affinity
 between the members of group *gi* and group *gj*.
+
+Accepts either a dense array or a ``scipy.sparse`` matrix; the result is
+always a (small) dense ``k × k`` array — ``k`` is a tree arity or a
+subtree count, never large.
 """
 
 from __future__ import annotations
@@ -12,21 +16,16 @@ import numpy as np
 from repro.errors import MappingError
 from repro.util.matrix import check_square
 
-__all__ = ["aggregate_comm_matrix"]
+try:  # pragma: no cover - optional dependency
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover
+    _sp = None
+
+__all__ = ["aggregate_comm_matrix", "group_assignment"]
 
 
-def aggregate_comm_matrix(m: np.ndarray, groups: list[list[int]]) -> np.ndarray:
-    """Aggregate *m* over *groups*; returns a ``k × k`` matrix.
-
-    Every process index must appear in exactly one group. Computed as a
-    single ``G.T @ m @ G`` product with the group indicator matrix ``G``
-    (then the diagonal zeroed and the upper triangle mirrored, matching
-    the loop reference) instead of one fancy-indexed sum per group pair.
-    """
-    a = check_square(m, name="affinity matrix")
-    p = a.shape[0]
-    k = len(groups)
-
+def group_assignment(groups: list[list[int]], p: int) -> np.ndarray:
+    """Validated member→group index array for an exact cover of ``0..p-1``."""
     flat = np.fromiter(
         (i for g in groups for i in g), dtype=np.int64,
         count=sum(len(g) for g in groups),
@@ -40,14 +39,53 @@ def aggregate_comm_matrix(m: np.ndarray, groups: list[list[int]]) -> np.ndarray:
         raise MappingError(f"process {dup} appears in two groups")
     if flat.size != p:
         raise MappingError(f"groups cover {flat.size} of {p} processes")
-
     asg = np.empty(p, dtype=np.intp)
     pos = 0
     for gi, g in enumerate(groups):
         asg[pos : pos + len(g)] = gi
         pos += len(g)
+    out = np.empty(p, dtype=np.intp)
+    out[flat] = asg
+    return out
+
+
+def aggregate_comm_matrix(m, groups: list[list[int]]) -> np.ndarray:
+    """Aggregate *m* over *groups*; returns a ``k × k`` dense matrix.
+
+    Every process index must appear in exactly one group. The dense path
+    is a single ``G.T @ m @ G`` product with the group indicator matrix
+    ``G`` (then the diagonal zeroed and the upper triangle mirrored,
+    matching the loop reference). The sparse path scatters the stored
+    entries onto group pairs with one ``bincount`` — identical totals,
+    O(nnz) instead of O(n²).
+    """
+    k = len(groups)
+    if _sp is not None and _sp.issparse(m):
+        p = m.shape[0]
+        if m.shape[0] != m.shape[1]:
+            raise MappingError(
+                f"affinity matrix must be square, got shape {m.shape}"
+            )
+        asg = group_assignment(groups, p)
+        coo = m.tocoo()
+        gi = asg[coo.row]
+        gj = asg[coo.col]
+        upper = gi < gj
+        out = np.zeros((k, k))
+        # Entries with group(row) < group(col) are exactly the terms of
+        # the dense reference's upper triangle of G.T @ m @ G; the
+        # mirrored stored entries (group(row) > group(col)) are the same
+        # pairs seen from the other side and must not be added twice.
+        np.add.at(out, (gi[upper], gj[upper]), coo.data[upper])
+        iu, ju = np.triu_indices(k, 1)
+        out[ju, iu] = out[iu, ju]
+        return out
+
+    a = check_square(m, name="affinity matrix")
+    p = a.shape[0]
+    asg_of = group_assignment(groups, p)
     indicator = np.zeros((p, k))
-    indicator[flat, asg] = 1.0
+    indicator[np.arange(p), asg_of] = 1.0
     out = indicator.T @ a @ indicator
     upper = np.triu(out, 1)
     return upper + upper.T

@@ -3,6 +3,20 @@
 Entry ``[i, j]`` is the number of bytes thread *i* receives from (reads
 that are produced by) thread *j* per iteration. TreeMatch works on the
 symmetrized, zero-diagonal view: total traffic between the pair.
+
+Two storage backends share one API:
+
+* **dense** — a float64 ``numpy`` array, the historical default and the
+  representation every small-instance code path uses;
+* **sparse** — a ``scipy.sparse`` CSR array, selected explicitly with
+  ``sparse=True`` or automatically by density when a matrix is built
+  from edges (:meth:`from_edges`, :meth:`stencil2d`). A million-task
+  stencil has ~4 entries per row; CSR keeps it at O(nnz) instead of an
+  8 TB dense allocation.
+
+When ``scipy`` is not installed the sparse backend degrades gracefully:
+``sparse=True`` falls back to dense storage (callers that genuinely need
+CSR check :data:`HAVE_SPARSE`).
 """
 
 from __future__ import annotations
@@ -14,7 +28,97 @@ import numpy as np
 from repro.errors import MappingError
 from repro.util.matrix import check_square, submatrix, symmetrize, zero_diagonal
 
-__all__ = ["CommunicationMatrix"]
+try:  # pragma: no cover - exercised implicitly by every test run
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover - scipy is an optional dependency
+    _sp = None
+
+__all__ = ["CommunicationMatrix", "HAVE_SPARSE",
+           "SPARSE_AUTO_ORDER", "SPARSE_AUTO_DENSITY"]
+
+#: True when scipy.sparse is importable and the CSR backend is available.
+HAVE_SPARSE = _sp is not None
+
+#: Edge-built matrices of at least this order are candidates for the
+#: automatic CSR backend selection ...
+SPARSE_AUTO_ORDER = 4096
+#: ... when their density (nnz / n^2) stays at or below this bound.
+SPARSE_AUTO_DENSITY = 0.25
+
+
+def _pick_sparse(flag: bool | None, n: int, nnz: int) -> bool:
+    """Resolve the ``sparse`` constructor flag (None = auto by density)."""
+    if flag is not None:
+        return bool(flag) and HAVE_SPARSE
+    if not HAVE_SPARSE:
+        return False
+    return n >= SPARSE_AUTO_ORDER and nnz <= SPARSE_AUTO_DENSITY * n * n
+
+
+class _DefaultLabels(Sequence):
+    """Lazy ``t{i}`` labels (with a ``pad{i}`` tail after padding).
+
+    A million-task matrix must not materialize a million strings just to
+    satisfy the label API; this sequence renders each name on demand.
+    """
+
+    __slots__ = ("_n", "_base")
+
+    def __init__(self, n: int, base: int | None = None) -> None:
+        self._n = n
+        self._base = base  # labels >= base are pad labels
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _one(self, i: int) -> str:
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        if self._base is not None and i >= self._base:
+            return f"pad{i - self._base}"
+        return f"t{i}"
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self._one(j) for j in range(*i.indices(self._n))]
+        return self._one(int(i))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _DefaultLabels):
+            return self._n == other._n and self._base == other._base
+        if isinstance(other, (list, tuple)):
+            return len(other) == self._n and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<_DefaultLabels n={self._n} base={self._base}>"
+
+
+def _check_csr(m, *, name: str = "matrix"):
+    """CSR analogue of :func:`repro.util.matrix.check_square`."""
+    csr = _sp.csr_array(m, dtype=np.float64)
+    if csr.ndim != 2 or csr.shape[0] != csr.shape[1]:
+        raise MappingError(f"{name} must be square 2-D, got shape {csr.shape}")
+    if not np.isfinite(csr.data).all():
+        raise MappingError(f"{name} contains non-finite entries")
+    if csr.data.size and csr.data.min() < 0:
+        raise MappingError(f"{name} contains negative entries")
+    csr.sum_duplicates()
+    csr.sort_indices()
+    return csr
+
+
+def _sym_zero_diag_csr(m):
+    """CSR symmetrize + zero diagonal without inserting explicit zeros."""
+    s = (m + m.T).tocoo()
+    keep = s.row != s.col
+    return _sp.csr_array(
+        (s.data[keep], (s.row[keep], s.col[keep])), shape=s.shape
+    )
 
 
 class CommunicationMatrix:
@@ -22,18 +126,31 @@ class CommunicationMatrix:
 
     def __init__(
         self,
-        data: np.ndarray | Sequence[Sequence[float]],
+        data,
         labels: Sequence[str] | None = None,
+        *,
+        sparse: bool | None = None,
     ) -> None:
-        self._m = check_square(np.asarray(data, dtype=np.float64),
-                               name="communication matrix")
+        if HAVE_SPARSE and _sp.issparse(data):
+            if sparse is False:
+                self._m = check_square(data.toarray(),
+                                       name="communication matrix")
+            else:
+                self._m = _check_csr(data, name="communication matrix")
+        else:
+            dense = check_square(np.asarray(data, dtype=np.float64),
+                                 name="communication matrix")
+            if sparse and HAVE_SPARSE:
+                self._m = _check_csr(_sp.csr_array(dense),
+                                     name="communication matrix")
+            else:
+                self._m = dense
         if labels is not None and len(labels) != self.order:
             raise MappingError(
                 f"{len(labels)} labels for a matrix of order {self.order}"
             )
-        self.labels: list[str] = (
-            list(labels) if labels is not None
-            else [f"t{i}" for i in range(self.order)]
+        self.labels: Sequence[str] = (
+            list(labels) if labels is not None else _DefaultLabels(self.order)
         )
 
     # -- constructors --------------------------------------------------------
@@ -44,15 +161,44 @@ class CommunicationMatrix:
         n: int,
         edges: Mapping[tuple[int, int], float],
         labels: Sequence[str] | None = None,
+        *,
+        sparse: bool | None = None,
     ) -> CommunicationMatrix:
-        """Build from sparse ``{(receiver, producer): bytes}`` edges."""
+        """Build from sparse ``{(receiver, producer): bytes}`` edges.
+
+        The backend follows *sparse* (None = automatic: CSR for large,
+        low-density instances when scipy is available). Construction is
+        vectorized and — on the CSR path — never touches an O(n²) array.
+        """
+        if n < 0:
+            raise MappingError(f"negative order {n}")
+        k = len(edges)
+        if k:
+            rows = np.fromiter((e[0] for e in edges), dtype=np.int64, count=k)
+            cols = np.fromiter((e[1] for e in edges), dtype=np.int64, count=k)
+            vals = np.fromiter(edges.values(), dtype=np.float64, count=k)
+        else:
+            rows = cols = np.zeros(0, dtype=np.int64)
+            vals = np.zeros(0, dtype=np.float64)
+        bad = (rows < 0) | (rows >= n) | (cols < 0) | (cols >= n)
+        if bad.any():
+            b = int(np.flatnonzero(bad)[0])
+            raise MappingError(
+                f"edge ({rows[b]}, {cols[b]}) outside order {n}"
+            )
+        neg = vals < 0
+        if neg.any():
+            b = int(np.flatnonzero(neg)[0])
+            raise MappingError(
+                f"negative traffic on edge ({rows[b]}, {cols[b]})"
+            )
+        if _pick_sparse(sparse, n, k):
+            csr = _sp.csr_array(
+                _sp.coo_array((vals, (rows, cols)), shape=(n, n))
+            )
+            return cls(csr, labels)
         m = np.zeros((n, n))
-        for (i, j), w in edges.items():
-            if not (0 <= i < n and 0 <= j < n):
-                raise MappingError(f"edge ({i}, {j}) outside order {n}")
-            if w < 0:
-                raise MappingError(f"negative traffic on edge ({i}, {j})")
-            m[i, j] += w
+        np.add.at(m, (rows, cols), vals)
         return cls(m, labels)
 
     @classmethod
@@ -62,14 +208,17 @@ class CommunicationMatrix:
         *,
         weight: float = 100.0,
         width: int | None = None,
+        sparse: bool | None = None,
     ) -> CommunicationMatrix:
         """Synthetic 2-D 5-point stencil: each thread exchanges *weight*
         bytes per iteration with its grid neighbours (halo exchange).
 
         Threads are laid out row-major on a ``width``-wide grid
-        (``ceil(sqrt(n))`` by default); the matrix is built with vectorized
-        scatter so multi-thousand-thread instances cost milliseconds. This
-        is the placement-scaling workload of the mapping benchmarks.
+        (``ceil(sqrt(n))`` by default). The matrix is built with
+        vectorized scatter; with the CSR backend (*sparse* = True, or
+        automatic for large instances) a million-task stencil costs
+        O(n) memory instead of O(n²). This is the placement-scaling
+        workload of the mapping benchmarks.
         """
         if n <= 0:
             raise MappingError(f"stencil order must be positive, got {n}")
@@ -78,17 +227,28 @@ class CommunicationMatrix:
         w = width if width is not None else int(np.ceil(np.sqrt(n)))
         if w <= 0:
             raise MappingError(f"stencil width must be positive, got {w}")
-        m = np.zeros((n, n))
         idx = np.arange(n)
         x = idx % w
         right = idx + 1
-        ok = (x + 1 < w) & (right < n)
-        m[idx[ok], right[ok]] = weight
-        m[right[ok], idx[ok]] = weight
+        ok_r = (x + 1 < w) & (right < n)
         down = idx + w
-        ok = down < n
-        m[idx[ok], down[ok]] = weight
-        m[down[ok], idx[ok]] = weight
+        ok_d = down < n
+        src_r, dst_r = idx[ok_r], right[ok_r]
+        src_d, dst_d = idx[ok_d], down[ok_d]
+        nnz = 2 * (src_r.size + src_d.size)
+        if _pick_sparse(sparse, n, nnz):
+            rows = np.concatenate([src_r, dst_r, src_d, dst_d])
+            cols = np.concatenate([dst_r, src_r, dst_d, src_d])
+            vals = np.full(rows.size, float(weight))
+            csr = _sp.csr_array(
+                _sp.coo_array((vals, (rows, cols)), shape=(n, n))
+            )
+            return cls(csr)
+        m = np.zeros((n, n))
+        m[src_r, dst_r] = weight
+        m[dst_r, src_r] = weight
+        m[src_d, dst_d] = weight
+        m[dst_d, src_d] = weight
         return cls(m)
 
     # -- views ----------------------------------------------------------------
@@ -98,24 +258,77 @@ class CommunicationMatrix:
         return self._m.shape[0]
 
     @property
+    def is_sparse(self) -> bool:
+        """True when the CSR backend holds this matrix."""
+        return HAVE_SPARSE and _sp.issparse(self._m)
+
+    @property
+    def nnz(self) -> int:
+        """Stored entry count (dense matrices count their nonzeros)."""
+        if self.is_sparse:
+            return int(self._m.nnz)
+        return int(np.count_nonzero(self._m))
+
+    @property
     def raw(self) -> np.ndarray:
-        """The directed matrix (copy)."""
+        """The directed matrix as a dense array (copy; densifies CSR)."""
+        if self.is_sparse:
+            return self._m.toarray()
         return self._m.copy()
 
+    def tocsr(self):
+        """The directed matrix as a ``scipy.sparse`` CSR array (copy).
+
+        Raises :class:`MappingError` when scipy is unavailable.
+        """
+        if not HAVE_SPARSE:
+            raise MappingError("scipy is not installed; no CSR view")
+        if self.is_sparse:
+            return self._m.copy()
+        return _sp.csr_array(self._m)
+
     def affinity(self) -> np.ndarray:
-        """Symmetrized, zero-diagonal traffic — what TreeMatch groups on."""
+        """Symmetrized, zero-diagonal traffic — what TreeMatch groups on.
+
+        Always dense; use :meth:`affinity_sparse` for the CSR view when
+        the instance is too large to densify.
+        """
+        if self.is_sparse:
+            return _sym_zero_diag_csr(self._m).toarray()
+        return zero_diagonal(symmetrize(self._m))
+
+    def affinity_sparse(self):
+        """The affinity view as a CSR array (requires scipy)."""
+        if not HAVE_SPARSE:
+            raise MappingError("scipy is not installed; no CSR affinity")
+        if self.is_sparse:
+            return _sym_zero_diag_csr(self._m)
+        return _sp.csr_array(zero_diagonal(symmetrize(self._m)))
+
+    def affinity_any(self):
+        """Affinity in the native backend: CSR when sparse, else dense.
+
+        The multilevel engines consume this — they accept either form
+        and must never force a densification of a large CSR instance.
+        """
+        if self.is_sparse:
+            return _sym_zero_diag_csr(self._m)
         return zero_diagonal(symmetrize(self._m))
 
     def total_traffic(self) -> float:
         """Total off-diagonal traffic (both directions)."""
+        if self.is_sparse:
+            return float(_sym_zero_diag_csr(self._m).data.sum()) / 2.0
         return float(self.affinity().sum()) / 2.0
 
     def restricted(self, indices: Sequence[int]) -> CommunicationMatrix:
         """Sub-matrix over *indices* (new thread ids follow that order)."""
         idx = list(indices)
-        return CommunicationMatrix(
-            submatrix(self._m, idx), [self.labels[i] for i in idx]
-        )
+        labels = [self.labels[i] for i in idx]
+        if self.is_sparse:
+            ia = np.asarray(idx, dtype=np.intp)
+            return CommunicationMatrix(self._m[ia][:, ia], labels)
+        return CommunicationMatrix(submatrix(self._m, idx), labels)
 
     def padded(self, new_order: int) -> CommunicationMatrix:
         """Zero-pad to *new_order* (dummy threads communicate nothing)."""
@@ -123,21 +336,40 @@ class CommunicationMatrix:
             raise MappingError(
                 f"cannot pad order {self.order} down to {new_order}"
             )
-        m = np.zeros((new_order, new_order))
-        m[: self.order, : self.order] = self._m
-        labels = self.labels + [
-            f"pad{i}" for i in range(new_order - self.order)
-        ]
-        return CommunicationMatrix(m, labels)
+        if isinstance(self.labels, _DefaultLabels):
+            labels: Sequence[str] = _DefaultLabels(new_order, base=self.order)
+        else:
+            labels = list(self.labels) + [
+                f"pad{i}" for i in range(new_order - self.order)
+            ]
+        if self.is_sparse:
+            csr = self._m
+            indptr = np.concatenate([
+                csr.indptr,
+                np.full(new_order - self.order, csr.indptr[-1],
+                        dtype=csr.indptr.dtype),
+            ])
+            padded = _sp.csr_array(
+                (csr.data.copy(), csr.indices.copy(), indptr),
+                shape=(new_order, new_order),
+            )
+            out = CommunicationMatrix(padded)
+        else:
+            m = np.zeros((new_order, new_order))
+            m[: self.order, : self.order] = self._m
+            out = CommunicationMatrix(m)
+        out.labels = labels
+        return out
 
     # -- persistence -------------------------------------------------------------
 
     def to_csv(self) -> str:
-        """Render as CSV with a label header row/column."""
+        """Render as CSV with a label header row/column (densifies)."""
         lines = ["," + ",".join(self.labels)]
+        dense = self.raw
         for i, label in enumerate(self.labels):
             lines.append(
-                label + "," + ",".join(f"{v:g}" for v in self._m[i])
+                label + "," + ",".join(f"{v:g}" for v in dense[i])
             )
         return "\n".join(lines)
 
@@ -168,9 +400,19 @@ class CommunicationMatrix:
         ``hop_depth[(pu_a, pu_b)]`` must give a *distance* (larger = farther)
         between the PUs; the cost is ``sum traffic(i,j) * distance`` — the
         objective TreeMatch minimizes.
+
+        Both backends accumulate the nonzero upper-triangle terms in
+        row-major order, so CSR and dense agree bit-for-bit.
         """
-        aff = self.affinity()
         cost = 0.0
+        if self.is_sparse:
+            coo = self.affinity_sparse().tocoo()
+            for i, j, w in zip(coo.row.tolist(), coo.col.tolist(),
+                               coo.data.tolist()):
+                if i < j and w and i in placement and j in placement:
+                    cost += w * hop_depth[(placement[i], placement[j])]
+            return cost
+        aff = self.affinity()
         for i in range(self.order):
             for j in range(i + 1, self.order):
                 w = aff[i, j]
@@ -179,4 +421,8 @@ class CommunicationMatrix:
         return cost
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<CommunicationMatrix order={self.order} traffic={self.total_traffic():.3g}>"
+        kind = "sparse" if self.is_sparse else "dense"
+        return (
+            f"<CommunicationMatrix order={self.order} {kind} "
+            f"traffic={self.total_traffic():.3g}>"
+        )

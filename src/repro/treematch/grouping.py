@@ -220,44 +220,56 @@ def group_greedy(m: np.ndarray, arity: int) -> list[list[int]]:
     p = m.shape[0]
     if arity == 1:
         return [[i] for i in range(p)]
+    # Retired vertices are masked by an additive -inf penalty vector
+    # instead of per-step ``np.where`` temporaries: retiring is O(1),
+    # and each grow step is two in-place vector adds plus one C-level
+    # argmax into preallocated buffers — no allocation, no strided
+    # writes, identical selections (ties resolve on the same values).
     work = np.array(m, dtype=np.float64)
     np.fill_diagonal(work, -np.inf)
     free = np.ones(p, dtype=bool)
+    n_free = p
+    mask = np.zeros(p)
+    cand = np.empty(p)
+    attract = np.empty(p)
     row_max = work.max(axis=1)
     row_arg = work.argmax(axis=1)
     groups: list[list[int]] = []
 
     def retire(i: int) -> None:
+        nonlocal n_free
         free[i] = False
+        n_free -= 1
         row_max[i] = -np.inf
+        mask[i] = -np.inf
 
     def heaviest_pair() -> tuple[int, int]:
         while True:
-            i = int(np.argmax(row_max))
+            i = int(row_max.argmax())
             j = int(row_arg[i])
             if free[j]:
                 return i, j
-            # Stale witness: recompute this row's maximum over free cols.
-            masked = np.where(free, work[i], -np.inf)
-            row_max[i] = masked.max()
-            row_arg[i] = masked.argmax()
+            # Stale witness: recompute this row's maximum over free
+            # columns (the mask sends retired ones to -inf).
+            np.add(work[i], mask, out=cand)
+            row_max[i] = cand.max()
+            row_arg[i] = cand.argmax()
 
-    while free.any():
-        remaining = int(free.sum())
-        if remaining == arity:
-            groups.append([int(i) for i in np.flatnonzero(free)])
+    while n_free:
+        if n_free == arity:
+            groups.append([int(i) for i in np.flatnonzero(free)])  # hotlint: ok(alloc)
             break
         seed_i, seed_j = heaviest_pair()
         group = [seed_i, seed_j]
+        np.add(work[seed_i], work[seed_j], out=attract)
         retire(seed_i)
         retire(seed_j)
-        attract = m[:, seed_i] + m[:, seed_j]
         while len(group) < arity:
-            cand = np.where(free, attract, -np.inf)
-            best = int(np.argmax(cand))
+            np.add(attract, mask, out=cand)
+            best = int(cand.argmax())
             retire(best)
             group.append(best)
-            attract = attract + m[:, best]
+            attract += work[best]
         groups.append(group)
     return groups
 

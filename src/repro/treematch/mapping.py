@@ -21,7 +21,12 @@ from repro.treematch.grouping import group_processes
 from repro.treematch.maporder import child_distance_matrix, order_top_groups
 from repro.treematch.oversub import manage_oversubscription
 
-__all__ = ["Placement", "treematch_map"]
+try:  # pragma: no cover - optional dependency
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover
+    _sp = None
+
+__all__ = ["Placement", "treematch_map", "multilevel_map", "map_order_block"]
 
 
 @dataclass(frozen=True)
@@ -237,6 +242,24 @@ class Placement:
         tids = self._bound_threads(comm.order)
         if tids.size < 2:
             return 0.0
+        if getattr(comm, "is_sparse", False):
+            # O(nnz) path: walk the stored affinity entries once instead
+            # of densifying (a million-task matrix never fits dense).
+            coo = comm.affinity_sparse().tocoo()
+            midx_s = np.asarray(
+                [pu_metric[self.thread_to_pu[int(t)]] for t in tids],
+                dtype=np.intp,
+            )
+            pos = np.full(comm.order, -1, dtype=np.int64)
+            pos[tids] = np.arange(tids.size)
+            pr = pos[coo.row]
+            pc = pos[coo.col]
+            ok = (pr >= 0) & (pc >= 0)
+            total = float(
+                (coo.data[ok]
+                 * metric_matrix[midx_s[pr[ok]], midx_s[pc[ok]]]).sum()
+            )
+            return total / 2.0
         aff = comm.affinity()
         midx = np.asarray(
             [pu_metric[self.thread_to_pu[int(t)]] for t in tids],
@@ -327,16 +350,8 @@ def treematch_map(
         raise MappingError("empty communication matrix")
     aff = comm.affinity()
 
-    core_mode = hyperthread_aware and topology.has_hyperthreading
-    if core_mode:
-        leaf_objs = [core.children[0] for core in topology.cores]
-        arities = topology.level_arities()[:-1]
-        granularity = "core"
-    else:
-        # PUs in tree order; one entry per leaf of the full tree.
-        leaf_objs = [pu for core in topology.cores for pu in core.leaves()]
-        arities = topology.level_arities()
-        granularity = "pu"
+    leaf_objs, arities, granularity = _leaf_view(topology, hyperthread_aware)
+    core_mode = granularity == "core"
     n_leaves = len(leaf_objs)
 
     owners = control_owners if control_owners is not None else [
@@ -426,6 +441,235 @@ def treematch_map(
         groups_per_level=tuple(
             tuple(tuple(g) for g in level) for level in groups_per_level
         ),
+    )
+
+
+def _leaf_view(
+    topology: Topology, hyperthread_aware: bool
+) -> tuple[list, list[int], str]:
+    """Mapping leaves and level arities at the chosen granularity.
+
+    With hyperthreads and ``hyperthread_aware``, compute threads map
+    one-per-core (first PU of each core) and the PU level drops out of
+    the arity list; otherwise every PU is a leaf.
+    """
+    if hyperthread_aware and topology.has_hyperthreading:
+        leaf_objs = [core.children[0] for core in topology.cores]
+        arities = list(topology.level_arities()[:-1])
+        granularity = "core"
+    else:
+        # PUs in tree order; one entry per leaf of the full tree.
+        leaf_objs = [pu for core in topology.cores for pu in core.leaves()]
+        arities = list(topology.level_arities())
+        granularity = "pu"
+    return leaf_objs, arities, granularity
+
+
+# -- the multilevel engine (ISSUE 7) -------------------------------------------
+
+#: Subtree size below which parallel fan-out costs more (pickling, b64,
+#: process dispatch) than it saves; such blocks are ordered in-process.
+PARALLEL_MIN_TASKS = 8192
+
+
+def _pad_affinity(aff, lv: int):
+    """Extend *aff* with zero-communication padding rows up to order *lv*."""
+    n = int(aff.shape[0])
+    if lv == n:
+        return aff
+    if _sp is not None and _sp.issparse(aff):
+        csr = _sp.csr_array(aff)
+        indptr = np.concatenate([
+            np.asarray(csr.indptr, dtype=np.int64),
+            np.full(lv - n, csr.indptr[-1], dtype=np.int64),
+        ])
+        return _sp.csr_array(
+            (csr.data, csr.indices, indptr), shape=(lv, lv)
+        )
+    out = np.zeros((lv, lv))
+    out[:n, :n] = aff
+    return out
+
+
+def _order_block(aff, arities: list[int]) -> list[int]:
+    """Recursively order a block's tasks onto its subtree's virtual leaves.
+
+    Splits along the first remaining arity, then recurses into each
+    part's submatrix; position ``q`` of the returned permutation is the
+    task on virtual leaf ``q`` of this subtree.
+    """
+    from repro.treematch.bisect import split_k
+    from repro.treematch.coarsen import take_submatrix
+
+    n = int(aff.shape[0])
+    if n == 1 or not arities:
+        return list(range(n))
+    k = arities[0]
+    if k >= n:
+        # Splitting into singletons: every task is its own virtual leaf
+        # and any remaining arities are 1s — the order is the identity.
+        return list(range(n))
+    parts = split_k(aff, k)
+    rest = arities[1:]
+    if not rest or (len(rest) == 1 and rest[0] >= len(parts[0])):
+        # Terminal blocks: the remainder cannot reorder within a part
+        # (each part lands on one leaf / becomes singletons), so skip
+        # the per-part submatrix extraction entirely.
+        return [int(i) for part in parts for i in part]
+    out: list[int] = []
+    for part in parts:
+        ia = np.asarray(part, dtype=np.intp)
+        sub = take_submatrix(aff, ia)
+        for q in _order_block(sub, rest):
+            out.append(int(ia[q]))
+    return out
+
+
+def map_order_block(
+    indptr, indices, data, n: int, arities
+) -> list[int]:
+    """Order a CSR-triple block — the pure core of the ``map-subtree`` job.
+
+    Rebuilds the affinity backend (sparse when scipy is available, dense
+    otherwise) and runs the same :func:`_order_block` recursion the
+    in-process path uses, so results are identical for any worker count.
+    """
+    ip = np.asarray(indptr, dtype=np.int64)
+    ix = np.asarray(indices, dtype=np.int64)
+    dv = np.asarray(data, dtype=np.float64)
+    if _sp is not None:
+        aff = _sp.csr_array((dv, ix, ip), shape=(n, n))
+    else:  # pragma: no cover - exercised only without scipy
+        from repro.treematch.coarsen import parts_to_dense
+
+        aff = parts_to_dense(ip, ix, dv, n)
+    return _order_block(aff, list(arities))
+
+
+def _b64(arr: np.ndarray) -> str:
+    import base64
+
+    return base64.b64encode(arr.tobytes()).decode("ascii")
+
+
+def _subtree_orders(
+    aff, parts: list[list[int]], rest: list[int], *, n_jobs, cache
+) -> list[list[int]]:
+    """Order every part's submatrix, fanning out over the executor when
+    the subtrees are big enough to amortize process dispatch."""
+    from repro.treematch.coarsen import take_submatrix
+
+    subs = [
+        take_submatrix(aff, np.asarray(part, dtype=np.intp))
+        for part in parts
+    ]
+    size = len(parts[0]) if parts else 0
+    use_jobs = (
+        n_jobs != 1
+        and len(parts) > 1
+        and size >= PARALLEL_MIN_TASKS
+        and _sp is not None
+        and all(_sp.issparse(s) for s in subs)
+    )
+    if not use_jobs:
+        return [_order_block(s, rest) for s in subs]
+
+    from repro.experiments.runner import TINY
+    from repro.parallel.executor import run_jobs
+    from repro.parallel.jobs import make_job
+
+    jobs = []
+    for s in subs:
+        csr = _sp.csr_array(s)
+        jobs.append(make_job(
+            "map-subtree",
+            TINY,
+            {
+                "n": int(csr.shape[0]),
+                "arities": tuple(int(a) for a in rest),
+                "indptr": _b64(np.asarray(csr.indptr, dtype=np.int64)),
+                "indices": _b64(np.asarray(csr.indices, dtype=np.int64)),
+                "data": _b64(np.asarray(csr.data, dtype=np.float64)),
+            },
+            0,
+        ))
+    payloads = run_jobs(jobs, n_jobs=n_jobs, cache=cache)
+    return [[int(q) for q in payload["order"]] for payload in payloads]
+
+
+def multilevel_map(
+    topology: Topology,
+    comm: CommunicationMatrix,
+    *,
+    hyperthread_aware: bool = True,
+    distance_aware: bool = True,
+    n_jobs: int | None = 1,
+    cache=None,
+) -> Placement:
+    """Scalable TreeMatch: multilevel coarsening + recursive bisection.
+
+    Equivalent in structure to :func:`treematch_map` — threads are
+    grouped along the topology arities and oversubscription goes through
+    the same virtual level — but the grouping runs top-down as recursive
+    bisection on a coarsened affinity graph, so a sparse million-task
+    matrix maps without any O(n²) work. Independent subtree problems
+    after the first split are fanned out over the ``repro.parallel``
+    executor (``n_jobs``: 1 = in-process, None = ``REPRO_JOBS``, 0 = one
+    worker per CPU; results are identical for any worker count, and
+    ``cache`` follows :func:`repro.parallel.executor.run_jobs`).
+
+    Control threads are not modelled on this path (``control_mode`` is
+    always ``"os"``) — at the scales where multilevel matters,
+    per-thread control slots are noise; use :func:`treematch_map` below
+    the cutover when control placement matters.
+    """
+    p = comm.order
+    if p == 0:
+        raise MappingError("empty communication matrix")
+    leaf_objs, arities, granularity = _leaf_view(topology, hyperthread_aware)
+
+    plan = manage_oversubscription(arities, p)
+    lv = plan.virtual_leaves
+    aff = _pad_affinity(comm.affinity_any(), lv)
+
+    seq = [a for a in plan.arities if a > 1]
+    if seq:
+        from repro.treematch.bisect import split_k
+
+        k0 = seq[0]
+        parts = split_k(aff, k0)
+        if (
+            distance_aware
+            and k0 > 2
+            and len(topology.root.children) == k0
+        ):
+            # MapGroups refinement, as in treematch_map: assign the top
+            # parts to the root's children by interconnect distance.
+            agg = aggregate_comm_matrix(aff, parts)
+            dist = child_distance_matrix(topology)
+            ordered = order_top_groups([[i] for i in range(k0)], agg, dist)
+            parts = [parts[g[0]] for g in ordered]
+        sub_orders = _subtree_orders(
+            aff, parts, seq[1:], n_jobs=n_jobs, cache=cache
+        )
+        flat: list[int] = []
+        for part, sub_order in zip(parts, sub_orders):
+            for q in sub_order:
+                flat.append(part[q])
+    else:
+        flat = list(range(lv))
+
+    thread_to_pu: dict[int, int] = {}
+    for q, tid in enumerate(flat):
+        if tid < p:
+            thread_to_pu[tid] = leaf_objs[q // plan.factor].os_index
+    return Placement(
+        thread_to_pu=thread_to_pu,
+        control_mode="os",
+        granularity=granularity,
+        oversub_factor=plan.factor,
+        topology_name=topology.name,
+        groups_per_level=(),
     )
 
 

@@ -23,7 +23,22 @@ __all__ = [
     "cores_spread_placement",
     "sequential_placement",
     "strategy_by_name",
+    "mapping_strategy",
+    "map_with_strategy",
+    "MAPPING_STRATEGIES",
+    "MULTILEVEL_CUTOVER",
 ]
+
+#: ``strategy="auto"`` switches from the dense greedy+refine engine to
+#: the multilevel engine above this task count — past it the dense
+#: O(p²) grouping sweeps dominate (BENCH_sim.json ``mapping_bench``:
+#: ~6 s at p=4096 and growing quadratically, vs seconds at 100k for
+#: multilevel).
+MULTILEVEL_CUTOVER = 8192
+
+#: Affinity-aware mapping engines selectable by name (the baselines
+#: above stay in ``_STRATEGIES`` — they ignore the matrix entirely).
+MAPPING_STRATEGIES = ("auto", "greedy", "multilevel")
 
 
 def _check_n(
@@ -153,6 +168,46 @@ _STRATEGIES = {
     "cores-spread": cores_spread_placement,
     "sequential": sequential_placement,
 }
+
+
+def mapping_strategy(name: str, n_tasks: int) -> str:
+    """Resolve a mapping-strategy name to a concrete engine.
+
+    ``"auto"`` picks ``"multilevel"`` above :data:`MULTILEVEL_CUTOVER`
+    tasks and ``"greedy"`` (the dense group+refine pipeline of
+    ``treematch_map``) otherwise.
+    """
+    if name not in MAPPING_STRATEGIES:
+        raise MappingError(
+            f"unknown mapping strategy {name!r}; known: "
+            f"{', '.join(MAPPING_STRATEGIES)}"
+        )
+    if name == "auto":
+        return "multilevel" if n_tasks > MULTILEVEL_CUTOVER else "greedy"
+    return name
+
+
+def map_with_strategy(
+    topology: Topology,
+    comm,
+    *,
+    strategy: str = "auto",
+    n_jobs: int | None = 1,
+    **kwargs,
+) -> Placement:
+    """Run the selected affinity-aware mapping engine.
+
+    Extra keyword arguments go to the chosen engine
+    (:func:`~repro.treematch.mapping.treematch_map` for ``"greedy"``,
+    :func:`~repro.treematch.mapping.multilevel_map` for
+    ``"multilevel"``); ``n_jobs`` only applies to the multilevel path.
+    """
+    from repro.treematch.mapping import multilevel_map, treematch_map
+
+    engine = mapping_strategy(strategy, comm.order)
+    if engine == "multilevel":
+        return multilevel_map(topology, comm, n_jobs=n_jobs, **kwargs)
+    return treematch_map(topology, comm, **kwargs)
 
 
 def strategy_by_name(name: str):

@@ -1,0 +1,206 @@
+"""CSR-vs-dense equivalence of the CommunicationMatrix backends.
+
+The sparse backend (ISSUE 7) must be a drop-in: every operation the
+mapping pipeline runs — affinity, aggregation, restriction, padding,
+placement-cost evaluation — has to agree with the dense reference
+*bit for bit*, not approximately. Two mechanisms make exact agreement
+testable: ``placement_cost`` sums stored entries in the same row-major
+upper-triangle order on both backends, and the test matrices are
+integer-valued, so any summation order yields the same float.
+
+Skipped entirely when scipy is not installed (the dense fallback is
+then the only backend).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.treematch.aggregate import aggregate_comm_matrix
+from repro.treematch.commmatrix import (
+    SPARSE_AUTO_ORDER,
+    CommunicationMatrix,
+)
+
+sp = pytest.importorskip("scipy.sparse")
+
+
+def int_matrix(n: int, seed: int, density: float = 0.2) -> np.ndarray:
+    """Random integer-valued traffic matrix (not necessarily symmetric)."""
+    rng = np.random.default_rng(seed)
+    m = rng.integers(1, 100, size=(n, n)).astype(np.float64)
+    m[rng.random((n, n)) >= density] = 0.0
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+def pair(m: np.ndarray) -> tuple[CommunicationMatrix, CommunicationMatrix]:
+    return (
+        CommunicationMatrix(m, sparse=False),
+        CommunicationMatrix(m, sparse=True),
+    )
+
+
+def random_partition(n: int, k: int, seed: int) -> list[list[int]]:
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    bounds = sorted(rng.choice(np.arange(1, n), size=k - 1, replace=False))
+    return [
+        sorted(int(x) for x in part)
+        for part in np.split(perm, bounds)
+    ]
+
+
+class TestBackendSelection:
+    def test_explicit_flags(self):
+        m = int_matrix(16, 0)
+        dense, sparse = pair(m)
+        assert not dense.is_sparse
+        assert sparse.is_sparse
+        assert sparse.nnz == int(np.count_nonzero(m))
+
+    def test_sparse_input_densified_on_request(self):
+        csr = sp.csr_array(int_matrix(8, 1))
+        comm = CommunicationMatrix(csr, sparse=False)
+        assert not comm.is_sparse
+
+    def test_auto_is_dense_below_order_cutoff(self):
+        comm = CommunicationMatrix.stencil2d(SPARSE_AUTO_ORDER - 1)
+        assert not comm.is_sparse
+
+    def test_auto_is_sparse_for_large_low_density(self):
+        comm = CommunicationMatrix.stencil2d(SPARSE_AUTO_ORDER)
+        assert comm.is_sparse
+
+    def test_from_edges_validation_matches_dense(self):
+        for kwargs in ({"sparse": True}, {"sparse": False}):
+            with pytest.raises(MappingError, match="outside order"):
+                CommunicationMatrix.from_edges(2, {(0, 5): 1.0}, **kwargs)
+            with pytest.raises(MappingError, match="negative traffic"):
+                CommunicationMatrix.from_edges(2, {(0, 1): -1.0}, **kwargs)
+
+    def test_negative_entries_rejected(self):
+        m = np.array([[0.0, -1.0], [0.0, 0.0]])
+        with pytest.raises((MappingError, ValueError)):
+            CommunicationMatrix(m, sparse=True)
+        with pytest.raises(MappingError):
+            CommunicationMatrix(sp.csr_array(m), sparse=True)
+
+
+class TestBitForBitEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), st.integers(6, 64))
+    def test_affinity_and_views_random(self, seed, n):
+        m = int_matrix(n, seed)
+        dense, sparse = pair(m)
+        assert np.array_equal(dense.raw, sparse.raw)
+        assert np.array_equal(dense.affinity(), sparse.affinity())
+        assert np.array_equal(
+            dense.affinity(), sparse.affinity_sparse().toarray()
+        )
+        assert dense.total_traffic() == sparse.total_traffic()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), st.integers(8, 64))
+    def test_restricted_random(self, seed, n):
+        m = int_matrix(n, seed)
+        dense, sparse = pair(m)
+        rng = np.random.default_rng(seed + 1)
+        idx = sorted(
+            int(i) for i in rng.choice(n, size=max(2, n // 3), replace=False)
+        )
+        rd = dense.restricted(idx)
+        rs = sparse.restricted(idx)
+        assert np.array_equal(rd.raw, rs.raw)
+        assert list(rd.labels) == list(rs.labels)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), st.integers(4, 48), st.integers(1, 40))
+    def test_padded_random(self, seed, n, extra):
+        m = int_matrix(n, seed)
+        dense, sparse = pair(m)
+        pd = dense.padded(n + extra)
+        ps = sparse.padded(n + extra)
+        assert ps.is_sparse
+        assert np.array_equal(pd.raw, ps.raw)
+        assert list(pd.labels) == list(ps.labels)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), st.integers(8, 64))
+    def test_placement_cost_random(self, seed, n):
+        m = int_matrix(n, seed)
+        dense, sparse = pair(m)
+        rng = np.random.default_rng(seed + 2)
+        placement = {
+            i: int(pu) for i, pu in enumerate(rng.integers(0, 12, size=n))
+        }
+        # Leave some threads unbound to exercise the membership guard.
+        for t in rng.choice(n, size=n // 5, replace=False):
+            placement.pop(int(t), None)
+        hop = {
+            (a, b): float(abs(a - b)) * 1.25
+            for a in range(12) for b in range(12)
+        }
+        assert dense.placement_cost(placement, hop) == \
+            sparse.placement_cost(placement, hop)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), st.integers(8, 64), st.integers(2, 6))
+    def test_aggregate_random(self, seed, n, k):
+        m = int_matrix(n, seed)
+        groups = random_partition(n, k, seed + 3)
+        a_dense = aggregate_comm_matrix(m, groups)
+        a_sparse = aggregate_comm_matrix(sp.csr_array(m), groups)
+        assert np.array_equal(a_dense, a_sparse)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 400))
+    def test_stencil_both_backends(self, n):
+        dense = CommunicationMatrix.stencil2d(n, sparse=False)
+        sparse = CommunicationMatrix.stencil2d(n, sparse=True)
+        assert np.array_equal(dense.raw, sparse.raw)
+        rng = np.random.default_rng(n)
+        placement = {
+            i: int(pu) for i, pu in enumerate(rng.integers(0, 8, size=n))
+        }
+        hop = {(a, b): float(a != b) for a in range(8) for b in range(8)}
+        assert dense.placement_cost(placement, hop) == \
+            sparse.placement_cost(placement, hop)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_from_edges_both_backends(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 64))
+        edges = {
+            (int(rng.integers(0, n)), int(rng.integers(0, n))):
+                float(rng.integers(1, 100))
+            for _ in range(n * 2)
+        }
+        edges = {
+            (i, j): w for (i, j), w in edges.items() if i != j
+        }
+        dense = CommunicationMatrix.from_edges(n, edges, sparse=False)
+        sparse = CommunicationMatrix.from_edges(n, edges, sparse=True)
+        assert np.array_equal(dense.raw, sparse.raw)
+
+
+class TestSparseRoundtrips:
+    def test_csv_roundtrip_from_sparse(self):
+        comm = CommunicationMatrix.stencil2d(32, sparse=True)
+        back = CommunicationMatrix.from_csv(comm.to_csv())
+        assert not back.is_sparse
+        assert np.array_equal(back.raw, comm.raw)
+
+    def test_tocsr_of_dense(self):
+        m = int_matrix(10, 5)
+        dense = CommunicationMatrix(m, sparse=False)
+        assert np.array_equal(dense.tocsr().toarray(), m)
+
+    def test_default_labels_lazy(self):
+        comm = CommunicationMatrix.stencil2d(5000, sparse=True)
+        assert comm.labels[0] == "t0"
+        assert comm.labels[4999] == "t4999"
+        assert len(comm.labels) == 5000
