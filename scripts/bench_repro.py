@@ -12,21 +12,37 @@ Two modes:
     ``previous`` key — so running the script once on the old tree and
     once on the new one leaves a before/after record in a single file.
 
-``python scripts/bench_repro.py --check [--tolerance 0.2]``
+``python scripts/bench_repro.py --check [--tolerance 0.3] [--quick]``
     Fast preflight (no pytest): runs the engine event-throughput ring
     inline and exits 1 if it processes <= 2_000 events — the same floor
-    ``test_engine_event_throughput`` asserts. Three *paired-ratio*
-    regression gates follow, each the median of back-to-back per-pair
-    time ratios measured on this machine (recorded absolute rates are
-    never compared against — they swing tens of percent between runs on
-    the shared container): the batched core must keep a real edge over
-    the object core (recorded speedup discounted 50%, floored at 1.2x),
-    the fully tapped run must stay within ``--tolerance`` (default
-    20%) of the untapped batched run, and the TreeMatch mapping probe
-    (greedy p=1024 + multilevel p=4096) must stay within 2x of its
-    recorded ratio against a numpy matmul canary (informational until a
-    ratio is recorded). ``regenerate_all.py`` calls this before spending
-    minutes on figures.
+    ``test_engine_event_throughput`` asserts. Paired-ratio regression
+    gates follow. Every probe gets one untimed warmup pass first, every
+    gate is best-of-N interleaved pairs (N >= 5, ``--pairs``), and the
+    verdict is always the *median of per-pair ratios* measured on this
+    machine right now (recorded absolute rates are never compared
+    against — they swing tens of percent between runs on the shared
+    container):
+
+    * core gate — batched must keep a real edge over the object core
+      (recorded speedup discounted 50%, floored at 1.2x);
+    * SoA gate — the wide lockstep workload on the SoA core must reach
+      >= 3x the classic batched ring's event rate, pair by pair (the
+      tentpole throughput claim, drift-cancelled);
+    * observability gate — the fully tapped run must stay within
+      ``--tolerance`` (default 30%; the honest interleaved measurement
+      puts the true tap cost at ~15-20%, where the old best-vs-best
+      comparison once recorded taps as *faster* — pure bias) of the
+      untapped batched run; a median ratio *below* 1.0 marks the
+      measurement unstable instead of being celebrated;
+    * shard gate — a 2-shard scenario must produce the same global
+      trace fingerprint with 1 worker and 2 workers;
+    * mapping gate — the TreeMatch probe (greedy p=1024 + multilevel
+      p=4096) must stay within 2x of its recorded ratio against a numpy
+      matmul canary (informational until a ratio is recorded).
+
+    ``--quick`` drops to 3 pairs and skips the mapping gate — a <10s
+    smoke for lint preflight; ``regenerate_all.py`` runs the full check
+    before spending minutes on figures.
 """
 
 from __future__ import annotations
@@ -114,6 +130,111 @@ def engine_ring_events(
     events[0].signal()
     machine.run()
     return machine.engine.events_processed, time.perf_counter() - t0
+
+
+def engine_wide_events(core: str = "soa") -> tuple[int, float]:
+    """The wide lockstep workload: one bound thread per PU of SMP12E5.
+
+    Every thread runs the same Compute+Touch loop, so all 192 quanta
+    expire at the same virtual instants — the full-machine steady state
+    the SoA core's vectorized drain targets. This is the workload behind
+    the tentpole ">= 3x the batched ring rate" claim; the serial ring
+    above (where nothing can vectorize) is kept as the honest
+    worst case. Construction is timed in, like every engine probe.
+    """
+    from repro.sim import Compute, SimMachine, Touch
+    from repro.topology import smp12e5
+    from repro.util.bitmap import Bitmap
+
+    t0 = time.perf_counter()
+    machine = SimMachine(smp12e5(), core=core)
+
+    def worker(buf):
+        for _ in range(8):
+            yield Compute(2e8)
+            yield Touch(buf, 1 << 16, write=True)
+
+    for i, pu in enumerate(machine.topology.pus):
+        buf = machine.allocate(1 << 16, f"wbuf{i}")
+        machine.add_thread(
+            f"w{i}", worker(buf), cpuset=Bitmap.single(pu.os_index)
+        )
+    machine.run()
+    return machine.engine.events_processed, time.perf_counter() - t0
+
+
+def shard_smoke() -> dict:
+    """Tiny 2-shard halo ring, workers=1 vs workers=2: one fingerprint.
+
+    The cheapest end-to-end exercise of the conservative shard protocol
+    — program build, epochs, message exchange, forked workers — with the
+    determinism invariant as the pass criterion.
+    """
+    from repro.sim.shard import halo_ring_scenario, run_sharded
+
+    sc = halo_ring_scenario(
+        2, width=4, iters=2, flops=4e6, nbytes=1 << 13, latency=5e7
+    )
+    r1 = run_sharded(sc, workers=1)
+    r2 = run_sharded(sc, workers=2)
+    return {
+        "fingerprint": r1.fingerprint,
+        "match": r1.fingerprint == r2.fingerprint,
+        "epochs": r1.epochs,
+        "messages": r1.messages,
+    }
+
+
+def shard_scaling_probe() -> dict:
+    """4-machine halo ring at 1/2/4 workers: invariance + wall clock.
+
+    The fingerprint must be identical at every worker count — that gate
+    is unconditional. The >= 2.5x speedup-at-4-workers gate only applies
+    when the container actually exposes >= 4 CPUs; on a 1-CPU box the
+    probe records the (necessarily ~1x) measurement plus the CPU count
+    and marks the speedup gate skipped, so the record stays honest
+    instead of encoding an impossible expectation.
+    """
+    from repro.sim.shard import halo_ring_scenario, run_sharded
+
+    if hasattr(os, "sched_getaffinity"):
+        cpus = len(os.sched_getaffinity(0))
+    else:  # pragma: no cover
+        cpus = os.cpu_count() or 1
+    sc = halo_ring_scenario(
+        4, width=192, iters=60, flops=2e8, nbytes=1 << 16, latency=1e9
+    )
+    entry: dict = {"cpus_available": cpus, "workers": {}}
+    fingerprints = set()
+    base = None
+    for w in (1, 2, 4):
+        r = run_sharded(sc, workers=w)
+        fingerprints.add(r.fingerprint)
+        entry["workers"][str(w)] = {
+            "wall_seconds": round(r.wall_seconds, 3),
+            "events": r.events_processed,
+        }
+        if w == 1:
+            base = r.wall_seconds
+        print(
+            f"  shard_scaling workers={w}: {r.wall_seconds:.3f}s "
+            f"({r.events_processed} events, {r.epochs} epochs)",
+            flush=True,
+        )
+    entry["epochs"] = r.epochs
+    entry["messages"] = r.messages
+    entry["fingerprint_invariant"] = len(fingerprints) == 1
+    w4 = entry["workers"]["4"]["wall_seconds"]
+    entry["speedup_at_4"] = round(base / w4, 2) if w4 > 0 else None
+    if cpus >= 4:
+        entry["gate"] = (
+            "pass" if (entry["speedup_at_4"] or 0) >= 2.5 else "FAIL (< 2.5x)"
+        )
+    else:
+        entry["gate"] = (
+            f"skipped ({cpus} cpu available; the speedup gate needs >= 4)"
+        )
+    return entry
 
 
 def fig4_probe() -> dict:
@@ -350,20 +471,33 @@ def numpy_canary() -> tuple[int, float]:
     return 1, time.perf_counter() - t0
 
 
-def _paired_ratios(run_num, run_den, pairs: int) -> tuple[list, float, float]:
+def _paired_ratios(
+    run_num, run_den, pairs: int, inner: int = 3
+) -> tuple[list, float, float]:
     """Back-to-back pairs of two probes; per-pair ``dt_num / dt_den``.
 
     Machine-level drift (frequency scaling, noisy neighbours) moves both
     runs of a pair together and cancels in the ratio, where comparing
     two independently-measured rates — or worse, a rate measured now
     against one recorded on a different container — sees the drift as a
-    regression. Returns (ratios, best num rate, best den rate).
+    regression. One untimed warmup pass of each side precedes the timed
+    pairs so allocator/import/branch-predictor cold starts never land in
+    pair #1, and each side of a pair is the best of *inner* back-to-back
+    runs — scheduler interruptions only ever *add* time, so the min
+    filters them symmetrically and the surviving ratio tracks the code,
+    not the container. Returns (ratios, best num rate, best den rate).
     """
+    run_den()
+    run_num()
     ratios: list[float] = []
     rate_num = rate_den = 0.0
     for _ in range(pairs):
-        ev_d, dt_d = run_den()
-        ev_n, dt_n = run_num()
+        ev_d, dt_d = min(
+            (run_den() for _ in range(inner)), key=lambda r: r[1]
+        )
+        ev_n, dt_n = min(
+            (run_num() for _ in range(inner)), key=lambda r: r[1]
+        )
         if dt_d > 0 and dt_n > 0:
             ratios.append(dt_n / dt_d)
             rate_den = max(rate_den, ev_d / dt_d)
@@ -371,22 +505,69 @@ def _paired_ratios(run_num, run_den, pairs: int) -> tuple[list, float, float]:
     return ratios, rate_num, rate_den
 
 
-def run_check(tolerance: float = 0.2, reps: int = 3) -> int:
+def _paired_rate_ratios(
+    run_num, run_den, pairs: int, inner: int = 3
+) -> tuple[list, float, float]:
+    """Like :func:`_paired_ratios` but for *different* workloads.
+
+    The two sides process different event counts, so the comparable
+    quantity is the per-pair event-rate ratio ``(ev_n/dt_n)/(ev_d/dt_d)``
+    rather than the raw time ratio. Same warmup, interleaving, and
+    inner best-of filtering.
+    """
+    run_den()
+    run_num()
+    ratios: list[float] = []
+    rate_num = rate_den = 0.0
+    for _ in range(pairs):
+        ev_d, dt_d = min(
+            (run_den() for _ in range(inner)), key=lambda r: r[1]
+        )
+        ev_n, dt_n = min(
+            (run_num() for _ in range(inner)), key=lambda r: r[1]
+        )
+        if dt_d > 0 and dt_n > 0:
+            rn = ev_n / dt_n
+            rd = ev_d / dt_d
+            ratios.append(rn / rd)
+            rate_num = max(rate_num, rn)
+            rate_den = max(rate_den, rd)
+    return ratios, rate_num, rate_den
+
+
+def _best_of(run, n: int) -> tuple[int, float]:
+    """One warmup pass, then the fastest of *n* timed runs."""
+    run()
+    return min(run() for _ in range(n))
+
+
+def run_check(
+    tolerance: float = 0.3, pairs: int = 5, quick: bool = False
+) -> int:
     """Floor check + paired-ratio regression gates.
 
     Every gate is *relative*, measured as the median of back-to-back
-    per-pair time ratios on this machine, right now:
+    per-pair ratios on this machine, right now, after an untimed warmup
+    pass of each probe:
 
     1. absolute floor — the auto core must process more than
-       ``ENGINE_EVENTS_FLOOR`` events (best-of-*reps*);
+       ``ENGINE_EVENTS_FLOOR`` events (best-of-*pairs* after warmup);
     2. core gate — the batched core must stay genuinely faster than the
        object core. The required edge derives from the recorded
        ``batched_vs_object_speedup`` but is discounted 50% (and floored
        at 1.2x), so a generation recorded on a fast container can't
        fail a healthy run on a loaded one;
-    3. observability gate — the fully tapped batched run (metrics +
+    3. SoA gate — the wide lockstep workload on the SoA core must run at
+       >= 3x the classic batched ring's event rate (median per-pair rate
+       ratio): the tentpole claim, re-proven on every check;
+    4. observability gate — the fully tapped batched run (metrics +
        1-in-16 sampled busy tracing) must stay within *tolerance* of
-       the untapped batched run.
+       the untapped batched run; a median *negative* overhead is
+       reported as an unstable measurement, not a win;
+    5. shard gate — the 2-shard smoke's fingerprint must match between
+       1 and 2 workers;
+    6. mapping gate (skipped by ``quick``) — probe vs numpy canary
+       within 2x of the recorded ratio.
 
     Recorded absolute rates in BENCH_sim.json (which have swung 40%
     between runs of the same code on the shared container) are never
@@ -394,7 +575,9 @@ def run_check(tolerance: float = 0.2, reps: int = 3) -> int:
     """
     import statistics
 
-    events, dt = min(engine_ring_events() for _ in range(reps))
+    pairs = 3 if quick else max(5, pairs)
+
+    events, dt = _best_of(engine_ring_events, pairs)
     rate = events / dt if dt > 0 else float("inf")
     ok = events > ENGINE_EVENTS_FLOOR
     status = "ok" if ok else "FAIL"
@@ -422,7 +605,7 @@ def run_check(tolerance: float = 0.2, reps: int = 3) -> int:
     ratios, rate_o, rate_b = _paired_ratios(
         lambda: engine_ring_events("object"),
         lambda: engine_ring_events("batched"),
-        reps,
+        pairs,
     )
     speedup = statistics.median(ratios) if ratios else float("inf")
     required = 1.2
@@ -440,22 +623,70 @@ def run_check(tolerance: float = 0.2, reps: int = 3) -> int:
     if regressed:
         return 1
 
-    # Observability gate: tapped vs untapped batched runs, paired.
+    # SoA gate: wide lockstep on the SoA core vs the classic batched
+    # ring, per-pair *rate* ratio (different workloads). The >= 3x bound
+    # is the tentpole acceptance criterion stated against the recorded
+    # ring rate; measuring the ring side fresh in each pair keeps the
+    # comparison drift-cancelled instead of trusting a stale number.
+    ratios, rate_soa, rate_ring = _paired_rate_ratios(
+        lambda: engine_wide_events("soa"),
+        lambda: engine_ring_events("batched"),
+        pairs,
+    )
+    soa_ratio = statistics.median(ratios) if ratios else 0.0
+    soa_regressed = soa_ratio < 3.0
+    verdict = "REGRESSION" if soa_regressed else "ok"
+    print(
+        f"bench_repro --check: engine_soa wide {rate_soa:,.0f} ev/s vs "
+        f"batched ring {rate_ring:,.0f}, median paired rate ratio "
+        f"{soa_ratio:.2f}x (required >= 3.00x) [{verdict}]"
+    )
+    if soa_regressed:
+        return 1
+
+    # Observability gate: tapped vs untapped batched runs, paired,
+    # interleaved in this same warmed process so both sides see the
+    # same allocator and cache state.
     ratios, rate_t, rate_b = _paired_ratios(
         lambda: engine_ring_events("batched", traced=True),
         lambda: engine_ring_events("batched"),
-        reps + 4,
+        max(pairs, 5),
     )
     overhead = statistics.median(ratios) - 1.0 if ratios else 0.0
     traced_regressed = overhead > tolerance
-    verdict = "REGRESSION" if traced_regressed else "ok"
+    unstable = overhead < 0.0
+    verdict = "REGRESSION" if traced_regressed else (
+        "ok, UNSTABLE measurement" if unstable else "ok"
+    )
     print(
         f"bench_repro --check: engine_ring_traced {rate_t:,.0f} ev/s vs "
         f"untapped {rate_b:,.0f}, median paired overhead {overhead:+.1%} "
         f"(allowed <= {tolerance:.0%}) [{verdict}]"
     )
+    if unstable:
+        print(
+            "bench_repro --check: taps measuring faster than no taps is "
+            "noise, not speedup — treat the overhead number as unreliable"
+        )
     if traced_regressed:
         return 1
+
+    # Shard gate: the conservative protocol's determinism invariant on
+    # the cheapest real scenario.
+    smoke = shard_smoke()
+    verdict = "ok" if smoke["match"] else "FAIL"
+    print(
+        f"bench_repro --check: shard smoke fingerprint "
+        f"{smoke['fingerprint'][:16]} ({smoke['epochs']} epochs, "
+        f"{smoke['messages']} msgs), workers 1 vs 2 "
+        f"{'match' if smoke['match'] else 'MISMATCH'} [{verdict}]"
+    )
+    if not smoke["match"]:
+        return 1
+
+    if quick:
+        print("bench_repro --check: mapping gate skipped (--quick)")
+        return 0
 
     # Mapping gate: probe vs numpy canary, paired — same discipline as
     # the engine gates. The recorded ratio gets 2x headroom (cache state
@@ -466,7 +697,7 @@ def run_check(tolerance: float = 0.2, reps: int = 3) -> int:
         recorded_ratio = recorded.get("mapping_check", {}).get(
             "probe_vs_canary_ratio"
         )
-    ratios, _, _ = _paired_ratios(mapping_probe, numpy_canary, reps)
+    ratios, _, _ = _paired_ratios(mapping_probe, numpy_canary, pairs)
     ratio = statistics.median(ratios) if ratios else float("inf")
     if recorded_ratio:
         allowed = recorded_ratio * 2.0
@@ -497,27 +728,50 @@ def run_full() -> int:
         except (OSError, ValueError):
             previous = None
 
+    import statistics
+
     print("running pytest-benchmark suite ...", flush=True)
     benches = pytest_benchmarks()
     print("running engine ring probe ...", flush=True)
-    # Best-of-5: the headline regression-gate number; single-core CI
-    # boxes jitter 10-20% and only the fastest run reflects the code.
-    events, dt = min(engine_ring_events() for _ in range(5))
+    # Warmup + best-of-5: the headline regression-gate number;
+    # single-core CI boxes jitter 10-20% and only the fastest run
+    # reflects the code.
+    events, dt = _best_of(engine_ring_events, 5)
     print("running batched-vs-object core probe ...", flush=True)
-    ev_b, dt_b = min(engine_ring_events("batched") for _ in range(3))
-    ev_o, dt_o = min(engine_ring_events("object") for _ in range(3))
-    print("running ring-traced observability probe ...", flush=True)
-    ev_t, dt_t = min(
-        engine_ring_events("batched", traced=True) for _ in range(3)
+    ev_b, dt_b = _best_of(lambda: engine_ring_events("batched"), 5)
+    ev_o, dt_o = _best_of(lambda: engine_ring_events("object"), 5)
+    print("running SoA wide-lockstep probe ...", flush=True)
+    ev_s, dt_s = _best_of(lambda: engine_wide_events("soa"), 5)
+    ev_wb, dt_wb = _best_of(lambda: engine_wide_events("batched"), 5)
+    ev_sr, dt_sr = _best_of(lambda: engine_ring_events("soa"), 5)
+    soa_pairs, _, _ = _paired_rate_ratios(
+        lambda: engine_wide_events("soa"),
+        lambda: engine_ring_events("batched"),
+        5,
     )
+    soa_vs_ring = (
+        round(statistics.median(soa_pairs), 2) if soa_pairs else None
+    )
+    print("running ring-traced observability probe ...", flush=True)
+    traced_pairs, _, _ = _paired_ratios(
+        lambda: engine_ring_events("batched", traced=True),
+        lambda: engine_ring_events("batched"),
+        7,
+    )
+    traced_overhead = (
+        round(statistics.median(traced_pairs), 3) if traced_pairs else None
+    )
+    ev_t, dt_t = _best_of(
+        lambda: engine_ring_events("batched", traced=True), 5
+    )
+    print("running shard scaling probe ...", flush=True)
+    shard_scaling = shard_scaling_probe()
     print("running quick-scale Fig. 4 probe ...", flush=True)
     probe = fig4_probe()
     print("running mapping benchmarks ...", flush=True)
     mapping = mapping_benchmarks()
     print("running mapping probe/canary pairs ...", flush=True)
-    import statistics
-
-    map_ratios, _, _ = _paired_ratios(mapping_probe, numpy_canary, 3)
+    map_ratios, _, _ = _paired_ratios(mapping_probe, numpy_canary, 5)
     map_ratio = (
         round(statistics.median(map_ratios), 3) if map_ratios else None
     )
@@ -537,14 +791,42 @@ def run_full() -> int:
             ),
             "events": ev_b,
         },
+        "engine_soa": {
+            "wide_events": ev_s,
+            "wide_seconds": dt_s,
+            "wide_events_per_second": ev_s / dt_s if dt_s > 0 else None,
+            "wide_batched_events_per_second": (
+                ev_wb / dt_wb if dt_wb > 0 else None
+            ),
+            "soa_vs_batched_wide_speedup": (
+                round((ev_s / dt_s) / (ev_wb / dt_wb), 2)
+                if dt_s > 0 and dt_wb > 0 else None
+            ),
+            # The tentpole gate number: median per-pair rate ratio of the
+            # wide SoA workload against the classic batched ring
+            # (acceptance bound >= 3.0; --check re-measures it).
+            "soa_wide_vs_batched_ring_ratio": soa_vs_ring,
+            # Honest worst case: the serial ring on the SoA core, where
+            # nothing vectorizes and the probe overhead is all cost.
+            "ring_events_per_second": ev_sr / dt_sr if dt_sr > 0 else None,
+            "ring_vs_batched_ring_speedup": (
+                round(dt_b / dt_sr, 2) if dt_sr > 0 else None
+            ),
+        },
         "engine_ring_traced": {
             "events": ev_t,
             "seconds": dt_t,
             "events_per_second": ev_t / dt_t if dt_t > 0 else None,
-            "overhead_vs_batched": (
-                round(dt_t / dt_b, 3) if dt_b > 0 else None
+            # Median paired (interleaved same-process) time ratio; the
+            # old best-vs-best comparison once recorded taps as 25%
+            # *faster*, which is noise. A ratio below 1.0 is flagged
+            # unstable rather than reported as a win.
+            "overhead_vs_batched": traced_overhead,
+            "unstable": (
+                traced_overhead is not None and traced_overhead < 1.0
             ),
         },
+        "shard_scaling": shard_scaling,
         "pytest_benchmarks": benches,
         "fig4_quick_probe": probe,
         "mapping_bench": mapping,
@@ -573,12 +855,26 @@ def main(argv: list[str] | None = None) -> int:
              "(no pytest, no JSON write)",
     )
     parser.add_argument(
-        "--tolerance", type=float, default=0.2, metavar="FRAC",
-        help="allowed fractional throughput drop vs BENCH_sim.json "
-             "before --check fails (default 0.2)",
+        "--tolerance", type=float, default=0.3, metavar="FRAC",
+        help="allowed tapped-vs-untapped overhead before --check fails "
+             "(default 0.3; honest interleaved overhead is ~15-20%%)",
+    )
+    parser.add_argument(
+        "--pairs", type=int, default=5, metavar="N",
+        help="interleaved measurement pairs per --check gate "
+             "(default 5, minimum 5; --quick forces 3)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="with --check: 3 pairs and no mapping gate — a <10s smoke "
+             "for lint preflight",
     )
     args = parser.parse_args(argv)
-    return run_check(args.tolerance) if args.check else run_full()
+    if args.check:
+        return run_check(args.tolerance, pairs=args.pairs, quick=args.quick)
+    if args.quick:
+        parser.error("--quick only applies to --check")
+    return run_full()
 
 
 if __name__ == "__main__":

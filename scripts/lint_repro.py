@@ -13,7 +13,11 @@ Runs, in order:
 3. ``ruff check`` with the ``[tool.ruff]`` config from pyproject.toml —
    skipped with a notice when ruff is not installed (the container
    image does not bake it in);
-4. ``python -m compileall src`` (exit 1 on syntax errors anywhere).
+4. ``python -m compileall src`` (exit 1 on syntax errors anywhere);
+5. the simulator smoke: ``bench_repro --check --quick`` (throughput
+   floor, SoA-vs-batched gate, tap overhead, shard fingerprint — a few
+   noise-robust paired samples each) plus the three-way differential
+   smoke (object/batched/SoA bit-identity on generated programs).
 
 Intended for CI and as the preflight step of
 ``scripts/regenerate_all.py``.
@@ -58,6 +62,26 @@ def run_compileall() -> int:
     return 0 if ok else 1
 
 
+def run_sim_smoke() -> int:
+    """Quick bench gates + three-way differential smoke."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(here)
+    for extra in (here, os.path.join(root, "tests")):
+        if extra not in sys.path:
+            sys.path.insert(0, extra)
+    import bench_repro
+
+    code = bench_repro.main(["--check", "--quick"])
+    if code != 0:
+        return code
+    from harness import difftest
+
+    n = difftest.run_smoke()
+    print(f"lint_repro: difftest smoke — {n} program(s) bit-identical "
+          "across the object, batched and SoA cores")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     dynamic = "--dynamic" in args
@@ -82,8 +106,14 @@ def main(argv: list[str] | None = None) -> int:
         print("lint_repro: compileall found syntax errors", file=sys.stderr)
         return code
 
+    code = run_sim_smoke()
+    if code != 0:
+        print(f"lint_repro: simulator smoke failed (exit {code})",
+              file=sys.stderr)
+        return code
+
     print("lint_repro: all apps lint clean, hot paths pure, "
-          "src byte-compiles")
+          "src byte-compiles, simulator smoke green")
     return 0
 
 

@@ -58,8 +58,11 @@ def main(argv: list[str] | None = None) -> None:
     cache = False if args.no_cache else None
 
     # Preflight: every app must lint clean and src must byte-compile
-    # before we spend minutes regenerating figures from a broken tree,
-    # and the engine must clear its event-throughput floor.
+    # before we spend minutes regenerating figures from a broken tree.
+    # lint_repro also runs the quick simulator smoke (bench gates on a
+    # few paired samples, plus the three-way object/batched/SoA
+    # differential smoke); the *full* noise-robust --check then gates
+    # with all probes, including the mapping-engine comparison.
     import bench_repro
     import lint_repro
 
@@ -69,22 +72,6 @@ def main(argv: list[str] | None = None) -> None:
     code = bench_repro.main(["--check"])
     if code != 0:
         raise SystemExit(code)
-
-    # Differential smoke: a handful of generated programs must run
-    # bit-identically on both simulator cores before we trust hours of
-    # batched-core simulation (tests/harness/difftest.py; the full
-    # 50+-program family runs under pytest as tests/test_sim_difftest.py).
-    import sys
-    from pathlib import Path
-
-    tests_dir = str(Path(__file__).resolve().parent.parent / "tests")
-    if tests_dir not in sys.path:
-        sys.path.insert(0, tests_dir)
-    from harness import difftest
-
-    n = difftest.run_smoke()
-    print(f"difftest smoke: {n} program(s) bit-identical across cores",
-          flush=True)
 
     scale = current_scale()
     chunks: list[str] = [f"# Full regeneration at scale {scale.name!r}", ""]

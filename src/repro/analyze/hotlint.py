@@ -88,6 +88,14 @@ _RULE_CODES = {
 HOT_TARGETS: tuple[tuple[str, str, tuple[str, ...]], ...] = (
     ("repro/sim/machine.py", "SimMachine._run_batched",
      ("alloc", "self-attr", "tap")),
+    # The SoA core is one flat function whose drain loop carries the
+    # whole throughput target; every rule class applies.
+    ("repro/sim/soa.py", "run_soa", ("alloc", "tap")),
+    # The sharded sync loop runs once per conservative epoch — far
+    # cooler than per-event, but a per-message allocation inside it
+    # scales with traffic, so it stays under the alloc rule with
+    # amortized costs suppressed in place.
+    ("repro/sim/shard.py", "run_sharded", ("alloc",)),
     ("repro/sim/engine.py", "Engine.run", ("alloc", "tap")),
     ("repro/sim/engine.py", "BatchedQueue", ("alloc",)),
     ("repro/sim/cache.py", "L3State.install", ("alloc",)),

@@ -31,6 +31,15 @@ from repro.sim.process import (
     Wait,
     YieldCPU,
 )
+from repro.sim.shard import (
+    Channel,
+    Scenario,
+    ShardRunResult,
+    ShardSpec,
+    halo_ring_scenario,
+    register_program,
+    run_sharded,
+)
 
 __all__ = [
     "CostModel",
@@ -46,4 +55,11 @@ __all__ = [
     "MetricsRegistry",
     "RingTrace",
     "SimObserver",
+    "Channel",
+    "Scenario",
+    "ShardSpec",
+    "ShardRunResult",
+    "register_program",
+    "run_sharded",
+    "halo_ring_scenario",
 ]

@@ -178,6 +178,17 @@ class CacheSystem:
         self._stall_fraction = model.stall_fraction
         self._write_invalidate = model.write_invalidate
 
+    def pu_l3_list(self) -> list[int | None]:
+        """PU→L3 map flattened to a dense list (``None`` for holes).
+
+        Same rationale as :meth:`MemorySystem.pu_numa_list`: the flat
+        cores index this with raw os indices inside the pump.
+        """
+        flat: list[int | None] = [None] * (max(self._pu_l3) + 1)
+        for k, v in self._pu_l3.items():
+            flat[k] = v
+        return flat
+
     def l3_index_of_pu(self, pu: int) -> int:
         try:
             return self._pu_l3[pu]

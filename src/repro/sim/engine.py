@@ -48,6 +48,7 @@ __all__ = [
     "EV_STEP",
     "EV_BUSY",
     "EV_DRAIN",
+    "EV_VBUSY",
 ]
 
 #: Event kinds of the batched core. The payload is interpreted per kind:
@@ -58,6 +59,62 @@ EV_CALL = 0
 EV_STEP = 1
 EV_BUSY = 2
 EV_DRAIN = 3
+#: SoA-core vector busy completion: the payload is an int64 numpy array of
+#: thread ids whose busy chunks all end at this instant, emitted as ONE
+#: bucket triple by the vectorized drain. The k member events own the
+#: consecutive sequence numbers ``seq .. seq+k-1`` where ``seq`` is the
+#: triple's stored seq — exactly what a scalar emit loop in the same
+#: thread order would have allocated, so expanding a vector event back
+#: into scalar triples (or converting it to object-path events at exit)
+#: reproduces the batched core's (when, seq) order bit for bit.
+EV_VBUSY = 4
+
+
+class _ReStep:
+    """Object-path re-entry shim for a batched/SoA ``EV_STEP`` event.
+
+    When a windowed run (``SimMachine.run_window``) exits, leftover bucket
+    events are converted to ``(when, seq, callable)`` heap entries so the
+    object engine — and the next window, whatever core it drains on — can
+    resume them. Plain lambdas would be opaque; these typed shims let the
+    batched/SoA merge loops recognize a re-entering event and reconstruct
+    its kind-coded triple instead of demoting it to ``EV_CALL`` forever.
+    """
+
+    __slots__ = ("m", "t")
+
+    def __init__(self, m, t) -> None:
+        self.m = m
+        self.t = t
+
+    def __call__(self) -> None:
+        self.m._step(self.t)
+
+
+class _ReBusy:
+    """Re-entry shim for ``EV_BUSY`` / one lane of ``EV_VBUSY``."""
+
+    __slots__ = ("m", "t")
+
+    def __init__(self, m, t) -> None:
+        self.m = m
+        self.t = t
+
+    def __call__(self) -> None:
+        self.m._busy_done(self.t, self.t.cur_chunk)
+
+
+class _ReDrain:
+    """Re-entry shim for ``EV_DRAIN``."""
+
+    __slots__ = ("m", "e")
+
+    def __init__(self, m, e) -> None:
+        self.m = m
+        self.e = e
+
+    def __call__(self) -> None:
+        self.m._drain_event(self.e)
 
 
 class BatchedQueue:

@@ -21,7 +21,7 @@ Touch) occupy the thread's PU for a priced duration, chopped at the OS
 timeslice so preemption, hyperthread contention and rebalancing are
 re-evaluated at quantum boundaries. Blocking ops free the PU.
 
-Two run-loop implementations share these semantics:
+Three run-loop implementations share these semantics:
 
 * the **object path** — the small methods below (`_step`, `_busy_done`,
   `_dispatch`, …) driven by closure events on :class:`Engine`.
@@ -30,6 +30,11 @@ Two run-loop implementations share these semantics:
   events, with the Touch/Compute pricing inlined against the
   precomputed ``(accessor, home)`` cost table and same-instant
   busy-completion batches advanced in one vectorized pass.
+* the **SoA core** (:mod:`repro.sim.soa`) — the batched interpreter with
+  per-thread quantum state moved into struct-of-arrays columns for the
+  duration of the run; runs of same-instant busy completions are priced
+  in one numpy segment and re-emitted as single vector events. This is
+  the default (``core="auto"``).
 
 Observability works on **both** paths: ``SimMachine.monitors``,
 :class:`Trace`, ``OSScheduler.on_place`` and a
@@ -39,13 +44,17 @@ that still forces the object path is ``Engine.watchers`` — a callback
 after *every* processed event is exactly the per-event dispatch the
 batched core exists to eliminate.
 
-:meth:`run` selects the batched core automatically whenever no watcher
-is installed; fixed-seed runs produce bit-identical counters and clocks
-on either path, with or without taps
+:meth:`run` selects the SoA core automatically whenever no watcher is
+installed; fixed-seed runs produce bit-identical counters and clocks on
+every path, with or without taps
 (``tests/test_sim_batched_equivalence.py`` and
 ``tests/test_sim_difftest.py`` prove it on the three paper
 applications plus a generated program family). When editing one path,
-mirror the other — the equivalence tests will catch any drift.
+mirror the others — the equivalence tests will catch any drift.
+
+:meth:`run_window` drains events only up to a virtual-time horizon and
+may be called repeatedly — the epoch primitive :mod:`repro.sim.shard`
+builds its conservative multi-machine synchronization on.
 """
 
 from __future__ import annotations
@@ -61,7 +70,17 @@ import numpy as np
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.cache import CacheSystem
 from repro.sim.counters import Counters
-from repro.sim.engine import EV_BUSY, EV_CALL, EV_DRAIN, EV_STEP, BatchedQueue, Engine
+from repro.sim.engine import (
+    EV_BUSY,
+    EV_CALL,
+    EV_DRAIN,
+    EV_STEP,
+    BatchedQueue,
+    Engine,
+    _ReBusy,
+    _ReDrain,
+    _ReStep,
+)
 from repro.sim.memory import Buffer, MemorySystem
 from repro.sim.observe import (
     KIND_BY_NAME,
@@ -87,6 +106,7 @@ from repro.sim.process import (
     YieldCPU,
 )
 from repro.sim.scheduler import OSScheduler
+from repro.sim.soa import run_soa
 from repro.sim.trace import Trace
 from repro.topology.binding import validate_cpuset
 from repro.topology.tree import Topology
@@ -137,7 +157,7 @@ class SimMachine:
     """A virtual NUMA machine executing simulated threads."""
 
     #: Run-loop implementations selectable via the ``core`` kwarg.
-    CORES = ("auto", "batched", "object")
+    CORES = ("auto", "soa", "batched", "object")
 
     def __init__(
         self,
@@ -190,8 +210,8 @@ class SimMachine:
         #: Optional metrics/ring-trace observer (repro.sim.observe); works
         #: on both cores. Set here or via :meth:`attach_observer`.
         self.observer: SimObserver | None = observer
-        #: Which run loop :meth:`run` actually executed ("batched" or
-        #: "object"); None before run().
+        #: Which run loop :meth:`run` actually executed ("soa",
+        #: "batched" or "object"); None before run().
         self.core_used: str | None = None
         self.clock_hz = float(topology.root.attrs.get("clock_hz", 2.6e9))
         self._ready: deque[SimThread] = deque()
@@ -201,6 +221,11 @@ class SimMachine:
         #: _on_signal routes wakeups through it so signals raised from
         #: generator code land in the batched queue, not the object heap.
         self._fast_signal = None
+        #: While the SoA core drains, this is its bound-flag column
+        #: (array('b') indexed by tid); bind_thread keeps it coherent so
+        #: affinity changes made from running generator code are seen by
+        #: the vectorized eligibility masks.
+        self._soa_bound = None
         self._ran = False
 
     # -- construction API ---------------------------------------------------
@@ -250,6 +275,9 @@ class SimMachine:
         if cpuset is not None:
             validate_cpuset(self.topology, cpuset)
         thread.cpuset = cpuset
+        bound = self._soa_bound
+        if bound is not None and thread.tid < len(bound):
+            bound[thread.tid] = 0 if cpuset is None else 1
 
     def attach_observer(self, observer: SimObserver) -> SimObserver:
         """Attach a metrics/trace observer before :meth:`run`.
@@ -277,6 +305,22 @@ class SimMachine:
         """
         return ["engine.watchers"] if self.engine.watchers else []
 
+    def _select_core(self) -> str:
+        """Resolve the ``core`` kwarg to the loop that will execute."""
+        unsupported = self._unsupported_taps()
+        if self.core in ("soa", "batched") and unsupported:
+            raise SimulationError(
+                f"core={self.core!r} is incompatible with the "
+                f"{', '.join(unsupported)} tap — a per-event callback only "
+                "exists on the object path; use core='auto'/'object', or "
+                "the repro.sim.observe layer which works on every core"
+            )
+        if self.core == "object" or unsupported:
+            return "object"
+        if self.core == "batched":
+            return "batched"
+        return "soa"  # "auto" and "soa"
+
     def run(
         self,
         *,
@@ -287,13 +331,14 @@ class SimMachine:
         """Execute until every thread finishes; returns elapsed seconds.
 
         *max_events* defaults to ``self.limits.max_events``. Core
-        selection: ``core="auto"`` runs the batched core unless an
+        selection: ``core="auto"`` runs the SoA core unless an
         ``engine.watchers`` tap is installed (the one tap that needs the
         object path's per-event callback); ``core="object"`` forces the
-        compatibility path; ``core="batched"`` insists and raises if a
-        watcher makes that impossible. monitors/trace/on_place taps and
-        :class:`~repro.sim.observe.SimObserver` run natively on either
-        core. Both cores are bit-identical on fixed seeds;
+        compatibility path; ``core="soa"``/``core="batched"`` insist on
+        that flat core and raise if a watcher makes it impossible.
+        monitors/trace/on_place taps and
+        :class:`~repro.sim.observe.SimObserver` run natively on every
+        core. All cores are bit-identical on fixed seeds;
         :attr:`core_used` records which one executed.
 
         Raises :class:`DeadlockError` if threads remain blocked with an
@@ -313,21 +358,15 @@ class SimMachine:
             self.sanitizer.attach()
         if max_events is None:
             max_events = self.limits.max_events
-        unsupported = self._unsupported_taps()
-        if self.core == "batched" and unsupported:
-            raise SimulationError(
-                f"core='batched' is incompatible with the "
-                f"{', '.join(unsupported)} tap — a per-event callback only "
-                "exists on the object path; use core='auto'/'object', or "
-                "the repro.sim.observe layer which works on both cores"
-            )
-        use_batched = self.core != "object" and not unsupported
-        self.core_used = "batched" if use_batched else "object"
+        use = self._select_core()
+        self.core_used = use
         observer = self.observer
         if observer is not None:
             observer.begin(self)
         try:
-            if use_batched:
+            if use == "soa":
+                run_soa(self, max_cycles=max_cycles, max_events=max_events)
+            elif use == "batched":
                 self._run_batched(max_cycles=max_cycles, max_events=max_events)
             else:
                 for thread in self.threads:
@@ -353,6 +392,60 @@ class SimMachine:
             )
         if self.sanitizer is not None and not leftover:
             self.sanitizer.verify(self)
+        return self.elapsed_seconds
+
+    def run_window(
+        self, until: float, *, max_events: int | None = None
+    ) -> float:
+        """Drain events with timestamps ``<= until``; may be called again.
+
+        The epoch primitive of :mod:`repro.sim.shard`: a shard driver
+        alternates ``run_window(T_k)`` with cross-shard message exchange,
+        and the conservative window bound guarantees no event inside the
+        window depends on a message that arrives at a later one. Between
+        windows the machine is quiescent at a well-defined virtual time:
+        in-flight busy chunks and wakeups are parked as typed re-entry
+        shims on the object heap, and every core's merge loop restores
+        them natively on the next call.
+
+        Differences from :meth:`run`: no deadlock check (threads are
+        expected to be mid-flight between windows), no sanitizer attach,
+        and the observer folds only when the caller invokes
+        ``observer.fold(machine)`` after the last window (``fold`` is
+        idempotent). *max_events* is a per-window budget. Returns
+        elapsed seconds at the window boundary.
+        """
+        if until < self.engine.now:
+            raise SimulationError(
+                f"window horizon {until} is before now={self.engine.now}"
+            )
+        if max_events is None:
+            max_events = self.limits.max_events
+        use = self._select_core()
+        first = not self._ran
+        self._ran = True
+        if first:
+            self.core_used = use
+            observer = self.observer
+            if observer is not None:
+                observer.begin(self)
+        if use == "soa":
+            run_soa(self, max_cycles=until, max_events=max_events)
+        elif use == "batched":
+            self._run_batched(max_cycles=until, max_events=max_events)
+        else:
+            if first:
+                for thread in self.threads:
+                    if thread.state == "new":
+                        self._make_ready(thread)
+                self._dispatch()
+            self.engine.run(max_cycles=until, max_events=max_events)
+        # The clock of a windowed run advances to the horizon even when
+        # the queue drains early — the shard protocol equates "machine
+        # time" with the epoch boundary, and a later window may receive
+        # messages stamped anywhere inside (T_{k-1}, T_k].
+        if self.engine.now < until:
+            self.engine.now = until
         return self.elapsed_seconds
 
     def _run_batched(
@@ -401,16 +494,9 @@ class SimMachine:
         # PU- and node-keyed dicts flattened to lists for the pump: os
         # indices are small and dense, and a list index is the cheapest
         # lookup there is. node_free_at is written back on exit.
-        pu_l3_d = caches._pu_l3
-        pu_l3 = [None] * (max(pu_l3_d) + 1)
-        for _k, _v in pu_l3_d.items():
-            pu_l3[_k] = _v
-        pu_numa_d = self.memory._pu_numa
-        pu_numa = [None] * (max(pu_numa_d) + 1)
-        for _k, _v in pu_numa_d.items():
-            pu_numa[_k] = _v
-        node_free_d = self.memory._node_free_at
-        node_free_at = [node_free_d[i] for i in range(len(node_free_d))]
+        pu_l3 = caches.pu_l3_list()
+        pu_numa = self.memory.pu_numa_list()
+        node_free_at = self.memory.free_at_list()
         sched = self.scheduler
         busy_map = sched._busy
         node_load = sched._node_load
@@ -425,6 +511,9 @@ class SimMachine:
         cls_wait = Wait
         cls_spawn = Spawn
         cls_yield = YieldCPU
+        cls_restep = _ReStep
+        cls_rebusy = _ReBusy
+        cls_redrain = _ReDrain
 
         # -- observability taps, bound to locals ----------------------------
         # Every instrumentation site below is a pure read/accumulate, so a
@@ -489,11 +578,7 @@ class SimMachine:
         # on pu's hyperthread siblings — maintained at occupy/release so
         # the per-op contention test is one list index instead of a scan
         # (placements change ~1000x less often than ops are priced).
-        sib_compute = [0] * (max(busy_map) + 1)
-        for pu_i, occupant in busy_map.items():
-            if occupant is not None and occupant.kind == "compute":
-                for sib in sibling_pus[pu_i]:
-                    sib_compute[sib] += 1
+        sib_compute = sched.compute_pressure(sibling_pus)
 
         now = eng.now
         processed = eng._events_processed
@@ -707,21 +792,38 @@ class SimMachine:
                     # `now` appends behind `bi` and is drained in turn.
                     if eheap:
                         # External engine.schedule traffic: merge into the
-                        # calendar as CALL events. Delays are >= 0 and
+                        # calendar. Delays are >= 0 and
                         # their seqs are fresh, so entries land at the
                         # live bucket's tail or in future buckets —
                         # global (when, seq) order is preserved because
                         # eng._seq is shared.
                         while eheap:
                             w, s, fn = pop(eheap)
+                            # Re-entry shims (from a previous window's
+                            # exit conversion) are recognized by type and
+                            # restored to their kind-coded triples; other
+                            # callables stay CALL events.
+                            tf = fn.__class__
+                            if tf is cls_rebusy:
+                                kind = EV_BUSY
+                                pl = fn.t
+                            elif tf is cls_restep:
+                                kind = EV_STEP
+                                pl = fn.t
+                            elif tf is cls_redrain:
+                                kind = EV_DRAIN
+                                pl = fn.e
+                            else:
+                                kind = EV_CALL
+                                pl = fn
                             b = buckets_l.get(w)
                             if b is None:
-                                buckets_l[w] = [s, EV_CALL, fn]
+                                buckets_l[w] = [s, kind, pl]
                                 push(wheap_l, w)
                             else:
                                 b.append(s)
-                                b.append(EV_CALL)
-                                b.append(fn)
+                                b.append(kind)
+                                b.append(pl)
                     if processed >= budget:
                         eng._events_processed = processed
                         raise SimulationError(
@@ -737,14 +839,31 @@ class SimMachine:
                     if eheap:
                         while eheap:
                             w, s, fn = pop(eheap)
+                            # Re-entry shims (from a previous window's
+                            # exit conversion) are recognized by type and
+                            # restored to their kind-coded triples; other
+                            # callables stay CALL events.
+                            tf = fn.__class__
+                            if tf is cls_rebusy:
+                                kind = EV_BUSY
+                                pl = fn.t
+                            elif tf is cls_restep:
+                                kind = EV_STEP
+                                pl = fn.t
+                            elif tf is cls_redrain:
+                                kind = EV_DRAIN
+                                pl = fn.e
+                            else:
+                                kind = EV_CALL
+                                pl = fn
                             b = buckets_l.get(w)
                             if b is None:
-                                buckets_l[w] = [s, EV_CALL, fn]
+                                buckets_l[w] = [s, kind, pl]
                                 push(wheap_l, w)
                             else:
                                 b.append(s)
-                                b.append(EV_CALL)
-                                b.append(fn)
+                                b.append(kind)
+                                b.append(pl)
                         if bi < len(bb):
                             # Zero-delay traffic landed in the live bucket.
                             continue
@@ -1271,13 +1390,14 @@ class SimMachine:
             self._fast_signal = None
             eng.now = now
             eng._events_processed = processed
-            for _i, _v in enumerate(node_free_at):
-                node_free_d[_i] = _v
+            self.memory.store_free_at(node_free_at)
             if buckets:
                 # A max_cycles/budget stop (or an app raise mid-bucket) can
-                # leave events in flight: convert them back to object-path
-                # closures so engine.pending, diagnostics and any manual
-                # engine.run() continue to work. The live bucket is still
+                # leave events in flight: convert them to typed re-entry
+                # shims so engine.pending, manual engine.run() and the
+                # next run_window() all keep working — the flat cores'
+                # merge loops recognize the shims and rebuild their
+                # kind-coded triples. The live bucket is still
                 # registered; only its undrained tail is in flight.
                 for w, b_l in buckets.items():
                     j0 = bi if blive and w == bwhen else 0
@@ -1287,15 +1407,11 @@ class SimMachine:
                         if ev_kind == EV_CALL:
                             fn = payload
                         elif ev_kind == EV_STEP:
-                            fn = (lambda t=payload: self._step(t))
+                            fn = _ReStep(self, payload)
                         elif ev_kind == EV_BUSY:
-                            fn = (
-                                lambda t=payload: self._busy_done(
-                                    t, t.cur_chunk
-                                )
-                            )
+                            fn = _ReBusy(self, payload)
                         else:
-                            fn = (lambda ev=payload: self._drain_event(ev))
+                            fn = _ReDrain(self, payload)
                         heapq.heappush(eheap, (w, b_l[j], fn))
                 buckets.clear()
                 del when_heap[:]

@@ -131,6 +131,34 @@ class MemorySystem:
         """Precomputed ``miss_cycles_per_line`` rows (treat as read-only)."""
         return self._miss_cost
 
+    def pu_numa_list(self) -> list[int | None]:
+        """PU→NUMA map flattened to a dense list (``None`` for holes).
+
+        OS indices are small and dense on every supported topology, and a
+        list index is the cheapest lookup the flat cores' pump can make.
+        A fresh list per call — callers bind it to a local for one run.
+        """
+        flat: list[int | None] = [None] * (max(self._pu_numa) + 1)
+        for k, v in self._pu_numa.items():
+            flat[k] = v
+        return flat
+
+    def free_at_list(self) -> list[float]:
+        """Node bandwidth horizons as a dense list snapshot.
+
+        The flat cores accumulate FIFO reservations into this snapshot
+        during a run and write it back via :meth:`store_free_at` on exit,
+        keeping the node-keyed dict authoritative between runs/windows.
+        """
+        d = self._node_free_at
+        return [d[i] for i in range(len(d))]
+
+    def store_free_at(self, free_at: list[float]) -> None:
+        """Write a :meth:`free_at_list` snapshot back (run/window exit)."""
+        d = self._node_free_at
+        for i in range(len(free_at)):
+            d[i] = free_at[i]
+
     # -- placement queries -----------------------------------------------------
 
     def numa_of_pu(self, pu: int) -> int:

@@ -519,9 +519,13 @@ class SimObserver:
             for depth, count in enumerate(self.queue_depths):
                 if count:
                     hist.observe(depth, count)
-        if self.kind_counts is not None and machine.core_used == "batched":
+        if self.kind_counts is not None and machine.core_used in (
+            "batched", "soa"
+        ):
             # Per-kind event split exists only where events are kind-coded
-            # — the object path drains opaque closures.
+            # — the object path drains opaque closures. The SoA core
+            # counts each lane of a vector busy completion as one busy
+            # event, so the split is identical across the flat cores.
             for kind, name in enumerate(("call", "step", "busy", "drain")):
                 reg.counter("sim_events_by_kind_total", kind=name).inc(
                     self.kind_counts[kind]

@@ -32,11 +32,17 @@ class SimLimits:
     before the batched core switches from scalar to vectorized (numpy)
     quantum advancement — below this the gather/scatter overhead beats
     the win.
+    ``vec_min``: minimum run length of same-instant busy completions
+    before the SoA core prices the run in one numpy segment instead of
+    scalar triples. Lower than ``batch_min`` because the SoA core keeps
+    its state in arrays already — the segment pays only the mask/gather,
+    not a per-thread attribute walk.
     """
 
     max_ops_per_step: int = 100_000
     max_events: int = 20_000_000
     batch_min: int = 16
+    vec_min: int = 8
 
     def __post_init__(self) -> None:
         if self.max_ops_per_step < 1:
@@ -45,6 +51,8 @@ class SimLimits:
             raise SimulationError("max_events must be >= 1")
         if self.batch_min < 2:
             raise SimulationError("batch_min must be >= 2")
+        if self.vec_min < 2:
+            raise SimulationError("vec_min must be >= 2")
 
 
 @dataclass(frozen=True)

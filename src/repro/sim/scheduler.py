@@ -97,6 +97,22 @@ class OSScheduler:
     def free_pus(self) -> list[int]:
         return [p for p in self._all_pus if self._busy[p] is None]
 
+    def compute_pressure(self, sibling_pus: dict[int, tuple[int, ...]]) -> list[int]:
+        """Per-PU count of *compute* threads on hyperthread siblings.
+
+        ``result[pu]`` is how many compute threads currently occupy PUs in
+        ``sibling_pus[pu]`` — the table both flat cores maintain
+        incrementally at occupy/release so the hyperthread-contention test
+        is a single list index. This builds the starting snapshot from the
+        busy map (placements at run entry, e.g. re-entering a window).
+        """
+        sib_compute = [0] * (max(self._busy) + 1)
+        for pu_i, occupant in self._busy.items():
+            if occupant is not None and occupant.kind == "compute":
+                for sib in sibling_pus[pu_i]:
+                    sib_compute[sib] += 1
+        return sib_compute
+
     # -- placement ------------------------------------------------------------------
 
     def place(self, thread: SimThread, *, rebalance: bool = False) -> int | None:

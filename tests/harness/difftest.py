@@ -1,11 +1,11 @@
-"""Differential-testing harness: batched core vs object core, bit for bit.
+"""Differential-testing harness: object vs batched vs SoA, bit for bit.
 
 Generates seeded random ORWL programs over the three paper application
 skeletons (lk23 wavefront, matmul ring, video pipeline) at miniature
-problem sizes, runs each one on both simulator cores, and asserts the
-full fingerprint — counters, final clock, event count, thread states,
-and (when taps are attached) every observation stream — is *identical*,
-not merely close.
+problem sizes, runs each one on all three simulator cores, and asserts
+the full fingerprint — counters, final clock, event count, thread
+states, and (when taps are attached) every observation stream — is
+*identical*, not merely close.
 
 Each generated spec carries a tap mode:
 
@@ -56,7 +56,7 @@ TOPOLOGIES = {
 }
 
 #: Snapshot keys excluded from cross-core comparison: the per-kind event
-#: split only exists where events are kind-coded (batched core).
+#: split only exists where events are kind-coded (the flat cores).
 _CORE_ONLY_PREFIX = "sim_events_by_kind_total"
 
 
@@ -231,23 +231,24 @@ def run_one(spec: ProgramSpec, core: str) -> dict:
 
 
 def check_program(spec: ProgramSpec) -> dict:
-    """Run *spec* on both cores, assert bit-identical fingerprints.
+    """Run *spec* on all three cores, assert bit-identical fingerprints.
 
     Returns the batched fingerprint (handy for further assertions).
-    Comparison is field by field so a failure names the drifting field
-    and the spec, not just "dicts differ".
+    Comparison is field by field so a failure names the drifting field,
+    the drifting core and the spec, not just "dicts differ".
     """
     fp_object = run_one(spec, "object")
-    fp_batched = run_one(spec, "batched")
+    fps = {core: run_one(spec, core) for core in ("batched", "soa")}
     assert fp_object["core_used"] == "object", spec.describe()
-    assert fp_batched["core_used"] == "batched", spec.describe()
-    for key in fp_object:
-        if key == "core_used":
-            continue
-        assert fp_batched[key] == fp_object[key], (
-            f"{key} differs across cores for {spec.describe()}"
-        )
-    return fp_batched
+    for core, fp in fps.items():
+        assert fp["core_used"] == core, spec.describe()
+        for key in fp_object:
+            if key == "core_used":
+                continue
+            assert fp[key] == fp_object[key], (
+                f"{key} differs on {core} core for {spec.describe()}"
+            )
+    return fps["batched"]
 
 
 def run_smoke(n: int = 6, seed: int = 0) -> int:

@@ -1,14 +1,15 @@
-"""Golden-trace equivalence: batched core vs object core, bit for bit.
+"""Golden-trace equivalence: object vs batched vs SoA cores, bit for bit.
 
-The batched core (:meth:`SimMachine._run_batched`) is a from-scratch
-rewrite of the simulator hot path; its contract is that a fixed-seed run
-is *bit-identical* to the object path — same counter floats, same final
+The batched core (:meth:`SimMachine._run_batched`) and the SoA core
+(:func:`repro.sim.soa.run_soa`) are from-scratch rewrites of the
+simulator hot path; their contract is that a fixed-seed run is
+*bit-identical* to the object path — same counter floats, same final
 clock, same number of events processed, same per-kind split. These tests
-pin that contract on the three paper applications plus targeted machine
-micro-scenarios (quantum batching, unbound-thread rng parity, event
-budgets). Any drift — a reordered float add, a different (when, seq)
-event order, an extra rng draw — shows up here as an exact-compare
-failure, not a tolerance miss.
+pin that contract three ways on the three paper applications plus
+targeted machine micro-scenarios (quantum batching, unbound-thread rng
+parity, oversubscribed preemption, event budgets). Any drift — a
+reordered float add, a different (when, seq) event order, an extra rng
+draw — shows up here as an exact-compare failure, not a tolerance miss.
 """
 
 from __future__ import annotations
@@ -39,10 +40,11 @@ def machine_fingerprint(machine: SimMachine) -> dict:
     }
 
 
-def assert_identical(fp_object: dict, fp_batched: dict) -> None:
+def assert_identical(fp_object: dict, *fp_others: dict) -> None:
     # Compare field by field for a readable diff on failure.
-    for key in fp_object:
-        assert fp_batched[key] == fp_object[key], key
+    for fp in fp_others:
+        for key in fp_object:
+            assert fp[key] == fp_object[key], key
 
 
 # -- the three paper applications ------------------------------------------------
@@ -55,7 +57,7 @@ class TestAppGoldenTraces:
         runs = [
             run_orwl_lk23(smp12e5(), cfg, affinity=affinity, seed=11,
                           core=core)
-            for core in ("object", "batched")
+            for core in ("object", "batched", "soa")
         ]
         assert_identical(*[machine_fingerprint(r.machine) for r in runs])
 
@@ -65,7 +67,7 @@ class TestAppGoldenTraces:
         runs = [
             run_openmp_lk23(smp12e5(), cfg, binding=binding, seed=7,
                             core=core)
-            for core in ("object", "batched")
+            for core in ("object", "batched", "soa")
         ]
         assert_identical(*[machine_fingerprint(r.machine) for r in runs])
 
@@ -75,7 +77,7 @@ class TestAppGoldenTraces:
         runs = [
             run_orwl_matmul(smp20e7(), cfg, affinity=affinity, seed=3,
                             core=core)
-            for core in ("object", "batched")
+            for core in ("object", "batched", "soa")
         ]
         assert_identical(*[machine_fingerprint(r.machine) for r in runs])
 
@@ -85,7 +87,7 @@ class TestAppGoldenTraces:
         runs = [
             run_orwl_video(smp12e5(), cfg, affinity=affinity, seed=5,
                            core=core)[0]
-            for core in ("object", "batched")
+            for core in ("object", "batched", "soa")
         ]
         assert_identical(*[machine_fingerprint(r.machine) for r in runs])
 
@@ -118,7 +120,7 @@ class TestMachineGoldenTraces:
     @pytest.mark.parametrize("bound", [True, False])
     def test_ring(self, bound):
         machines = []
-        for core in ("object", "batched"):
+        for core in ("object", "batched", "soa"):
             m = ring_machine(core, bound=bound)
             m.run()
             machines.append(m)
@@ -129,7 +131,7 @@ class TestMachineGoldenTraces:
         # from the rng (os jitter, wakeup migration) — exercises that both
         # cores consume the stream in the same order.
         machines = []
-        for core in ("object", "batched"):
+        for core in ("object", "batched", "soa"):
             m = ring_machine(core, bound=False, topo=smp20e7, seed=17)
             m.run()
             machines.append(m)
@@ -159,6 +161,7 @@ class TestMachineGoldenTraces:
         assert_identical(
             machine_fingerprint(build("object")),
             machine_fingerprint(build("batched")),
+            machine_fingerprint(build("soa")),
         )
 
     def test_oversubscribed_preemption_parity(self):
@@ -184,13 +187,14 @@ class TestMachineGoldenTraces:
         assert_identical(
             machine_fingerprint(build("object")),
             machine_fingerprint(build("batched")),
+            machine_fingerprint(build("soa")),
         )
 
     def test_event_budget_parity(self):
         # Both cores must stop at exactly the same processed-event count
         # and leave the same partial clock behind.
         results = []
-        for core in ("object", "batched"):
+        for core in ("object", "batched", "soa"):
             m = ring_machine(core, bound=True)
             with pytest.raises(SimulationError, match="event budget"):
                 m.run(max_events=500)
@@ -198,18 +202,18 @@ class TestMachineGoldenTraces:
                 (m.engine.events_processed, m.elapsed_cycles,
                  m.total_counters().snapshot())
             )
-        assert results[0] == results[1]
+        assert results[0] == results[1] == results[2]
 
     def test_max_cycles_parity(self):
         results = []
-        for core in ("object", "batched"):
+        for core in ("object", "batched", "soa"):
             m = ring_machine(core, bound=True)
             m.run(max_cycles=2e5, allow_incomplete=True)
             results.append(
                 (m.engine.events_processed, m.elapsed_cycles,
                  m.total_counters().snapshot())
             )
-        assert results[0] == results[1]
+        assert results[0] == results[1] == results[2]
 
 
 # -- core selection rules --------------------------------------------------------
@@ -220,10 +224,11 @@ class TestCoreSelection:
         with pytest.raises(SimulationError, match="unknown core"):
             SimMachine(smp12e5(), core="vectorized")
 
-    def test_batched_core_refuses_watchers(self):
-        # Only engine.watchers (a per-event callback with no batched
+    @pytest.mark.parametrize("core", ["batched", "soa"])
+    def test_flat_cores_refuse_watchers(self, core):
+        # Only engine.watchers (a per-event callback with no flat-core
         # equivalent) still forces the object path; the error names it.
-        m = ring_machine("batched", bound=True)
+        m = ring_machine(core, bound=True)
         m.engine.watchers.append(lambda now: None)
         with pytest.raises(SimulationError, match="engine.watchers"):
             m.run()
@@ -252,7 +257,7 @@ class TestCoreSelection:
         records = {}
         monitors = {}
         placements = {}
-        for core in ("object", "batched"):
+        for core in ("object", "batched", "soa"):
             from repro.sim.trace import Trace
 
             m = ring_machine(core, bound=True)
@@ -270,9 +275,10 @@ class TestCoreSelection:
             ]
             monitors[core] = (mon.touches, mon.blocks, mon.finishes)
             placements[core] = placed
-        assert records["batched"] == records["object"]
-        assert monitors["batched"] == monitors["object"]
-        assert placements["batched"] == placements["object"]
+        for core in ("batched", "soa"):
+            assert records[core] == records["object"], core
+            assert monitors[core] == monitors["object"], core
+            assert placements[core] == placements["object"], core
         assert records["batched"]  # the taps actually observed something
         assert monitors["batched"][0] > 0
 

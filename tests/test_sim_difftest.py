@@ -1,7 +1,7 @@
-"""Differential tests: 54 generated programs, batched vs object cores.
+"""Differential tests: 54 generated programs across all three cores.
 
 Driven by :mod:`tests.harness.difftest` — each generated spec executes
-on both simulator cores and the full fingerprint (counters, final
+on the object, batched and SoA cores and the full fingerprint (counters, final
 clock, event count, thread states, plus ring/metrics/monitor streams
 when taps are attached) must be bit-identical. A second pass pins the
 complementary guarantee: attaching taps never perturbs the run itself.
@@ -61,14 +61,16 @@ def test_bit_identical_across_cores(spec):
         assert fp["monitor"]["finished"] > 0
 
 
+@pytest.mark.parametrize("core", ["batched", "soa"])
 @pytest.mark.parametrize("index", range(9))
-def test_taps_do_not_perturb_the_run(index):
-    """Same spec, all three tap modes, batched core: the run-describing
-    fields must not move at all when observation is attached."""
+def test_taps_do_not_perturb_the_run(index, core):
+    """Same spec, all three tap modes, each flat core: the
+    run-describing fields must not move at all when observation is
+    attached."""
     base = SPECS[index]
     fps = {
         mode: difftest.run_one(
-            dataclasses.replace(base, tap_mode=mode), "batched"
+            dataclasses.replace(base, tap_mode=mode), core
         )
         for mode in difftest.TAP_MODES
     }
