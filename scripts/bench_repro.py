@@ -163,6 +163,144 @@ def engine_wide_events(core: str = "soa") -> tuple[int, float]:
     return machine.engine.events_processed, time.perf_counter() - t0
 
 
+def engine_chain_events(
+    core: str = "soa", *, chase: bool = True, stages: int = 8,
+    loops: int = 1500,
+) -> tuple[int, float]:
+    """A *genuinely serial* token-passing chain: one event ready at a time.
+
+    Unlike the classic ring probe — whose 32 stages all compute before
+    their first Wait, so ~32 tokens circulate concurrently and the
+    calendar always holds many buckets — every stage here waits FIRST,
+    and a single external signal starts one token around the loop. At
+    any virtual instant exactly one thread is runnable, which is the
+    pure serial-dependency worst case the chain chase (and, with numba,
+    the run-ahead kernel) targets: the emitted completion is provably
+    the next event anywhere. ``chase=False`` measures the same workload
+    with the fast path disabled, for paired feature-on/off ratios.
+    Construction is timed in, like every engine probe.
+    """
+    from repro.sim import Compute, SimMachine, Wait
+    from repro.sim.params import SimLimits
+    from repro.topology import smp12e5
+    from repro.util.bitmap import Bitmap
+
+    t0 = time.perf_counter()
+    machine = SimMachine(
+        smp12e5(), core=core, limits=SimLimits(chase=chase)
+    )
+    events = [machine.event(f"e{i}") for i in range(stages)]
+
+    def stage(i):
+        nxt = events[(i + 1) % stages]
+        for _ in range(loops):
+            yield Wait(events[i])
+            yield Compute(1e4)
+            nxt.signal()
+
+    for i in range(stages):
+        machine.add_thread(f"s{i}", stage(i), cpuset=Bitmap.single(2 * i))
+    events[0].signal()
+    machine.run()
+    return machine.engine.events_processed, time.perf_counter() - t0
+
+
+def chain_chase_stats() -> dict:
+    """One serial-chain run on the SoA core, reporting the chase counters.
+
+    Separate from :func:`engine_chain_events` (whose return shape feeds
+    the paired-ratio helpers) so BENCH_sim.json can record how many
+    events the run-ahead paths actually absorbed.
+    """
+    from repro.sim import Compute, SimMachine, Wait
+    from repro.sim.params import SimLimits
+    from repro.topology import smp12e5
+    from repro.util.bitmap import Bitmap
+
+    machine = SimMachine(smp12e5(), core="soa", limits=SimLimits())
+    events = [machine.event(f"e{i}") for i in range(8)]
+
+    def stage(i):
+        nxt = events[(i + 1) % 8]
+        for _ in range(300):
+            yield Wait(events[i])
+            yield Compute(1e4)
+            nxt.signal()
+
+    for i in range(8):
+        machine.add_thread(f"s{i}", stage(i), cpuset=Bitmap.single(2 * i))
+    events[0].signal()
+    machine.run()
+    return {
+        "events": machine.engine.events_processed,
+        "chase_events": machine.core_stats.get("chase_events", 0),
+        "jit_events": machine.core_stats.get("jit_events", 0),
+        "core_used": machine.core_used,
+    }
+
+
+def engine_soa_jit_probe() -> dict:
+    """Wide lockstep on the SoA core with the compiled run-ahead kernel.
+
+    When numba is not installed the probe records an explicit
+    ``skipped: "numba unavailable"`` entry — never a silent pass — so a
+    container without the ``repro[jit]`` extra still documents that the
+    kernel went unmeasured. With numba, it records the jit-on wide rate,
+    the paired ratio against the interpreted SoA wide run, and how many
+    events the kernel absorbed.
+    """
+    from repro.sim.jit import HAVE_NUMBA
+
+    if not HAVE_NUMBA:
+        return {"skipped": "numba unavailable"}
+
+    import statistics
+
+    from repro.sim import Compute, SimMachine, Touch
+    from repro.sim.params import SimLimits
+    from repro.topology import smp12e5
+    from repro.util.bitmap import Bitmap
+
+    def wide(jit: str) -> tuple[int, float]:
+        t0 = time.perf_counter()
+        machine = SimMachine(
+            smp12e5(), core="soa", limits=SimLimits(jit=jit)
+        )
+
+        def worker(buf):
+            for _ in range(8):
+                yield Compute(2e8)
+                yield Touch(buf, 1 << 16, write=True)
+
+        for i, pu in enumerate(machine.topology.pus):
+            buf = machine.allocate(1 << 16, f"jbuf{i}")
+            machine.add_thread(
+                f"w{i}", worker(buf), cpuset=Bitmap.single(pu.os_index)
+            )
+        machine.run()
+        wide.last = machine  # noqa: B010 — stats for the record below
+        return machine.engine.events_processed, time.perf_counter() - t0
+
+    # dt_num/dt_den with the interpreted run in the numerator: the
+    # recorded median is "how many times longer the interpreter takes",
+    # i.e. the kernel's paired speedup.
+    ratios, rate_py, rate_jit = _paired_ratios(
+        lambda: wide("off"), lambda: wide("on"), 3
+    )
+    wide("on")  # one more kernel run so the recorded stats are jit-on
+    m = wide.last
+    return {
+        "events": m.engine.events_processed,
+        "jit_events": m.core_stats.get("jit_events", 0),
+        "core_used": m.core_used,
+        "wide_events_per_second": rate_jit,
+        "wide_interpreted_events_per_second": rate_py,
+        "jit_speedup_vs_interpreted": (
+            round(statistics.median(ratios), 2) if ratios else None
+        ),
+    }
+
+
 def shard_smoke() -> dict:
     """Tiny 2-shard halo ring, workers=1 vs workers=2: one fingerprint.
 
@@ -195,12 +333,9 @@ def shard_scaling_probe() -> dict:
     and marks the speedup gate skipped, so the record stays honest
     instead of encoding an impossible expectation.
     """
-    from repro.sim.shard import halo_ring_scenario, run_sharded
+    from repro.sim.shard import available_cpus, halo_ring_scenario, run_sharded
 
-    if hasattr(os, "sched_getaffinity"):
-        cpus = len(os.sched_getaffinity(0))
-    else:  # pragma: no cover
-        cpus = os.cpu_count() or 1
+    cpus = available_cpus()
     sc = halo_ring_scenario(
         4, width=192, iters=60, flops=2e8, nbytes=1 << 16, latency=1e9
     )
@@ -644,6 +779,75 @@ def run_check(
     if soa_regressed:
         return 1
 
+    # Serial-chain gate: the chain chase, feature-on vs feature-off on
+    # the genuinely serial token chain, paired so container drift
+    # cancels. The chase must never make the serial worst case slower
+    # (>= 0.95 allows pure measurement jitter); how much it helps on
+    # this container is printed but not gated — the shared box has
+    # swung 40% between identical runs.
+    ratios, _, _ = _paired_ratios(
+        lambda: engine_chain_events("soa", chase=True),
+        lambda: engine_chain_events("soa", chase=False),
+        pairs,
+    )
+    # dt_chase / dt_nochase: < 1.0 means the chase is winning.
+    chase_cost = statistics.median(ratios) if ratios else 1.0
+    chase_regressed = chase_cost > 1.05
+    verdict = "REGRESSION" if chase_regressed else "ok"
+    print(
+        f"bench_repro --check: engine_serial_chain chase/nochase paired "
+        f"time ratio {chase_cost:.2f} (speedup {1.0 / chase_cost:.2f}x, "
+        f"required ratio <= 1.05) [{verdict}]"
+    )
+    if chase_regressed:
+        return 1
+
+    # Chain parity gate: SoA(+chase) vs batched on the same serial
+    # chain, paired rate ratio. Before the chase the SoA scalar path
+    # ran the classic ring at 0.86x batched; the chase brings the
+    # serial chain to parity. 0.75 is the floor at which the scalar
+    # path counts as regressed rather than noisy.
+    ratios, rate_sc, rate_bc = _paired_rate_ratios(
+        lambda: engine_chain_events("soa"),
+        lambda: engine_chain_events("batched"),
+        pairs,
+    )
+    chain_ratio = statistics.median(ratios) if ratios else 0.0
+    chain_regressed = chain_ratio < 0.75
+    verdict = "REGRESSION" if chain_regressed else "ok"
+    print(
+        f"bench_repro --check: engine_serial_chain soa {rate_sc:,.0f} ev/s "
+        f"vs batched {rate_bc:,.0f}, median paired rate ratio "
+        f"{chain_ratio:.2f} (required >= 0.75) [{verdict}]"
+    )
+    if chain_regressed:
+        return 1
+
+    # JIT gate: never a silent pass. Without numba the skip is printed
+    # and recorded by run_full; with numba the compiled kernel must not
+    # be slower than the interpreted SoA wide run.
+    from repro.sim.jit import HAVE_NUMBA
+
+    if not HAVE_NUMBA:
+        print(
+            "bench_repro --check: engine_soa_jit skipped: numba "
+            "unavailable (install the repro[jit] extra to measure the "
+            "compiled drain kernel)"
+        )
+    else:
+        jit_entry = engine_soa_jit_probe()
+        jit_speedup = jit_entry.get("jit_speedup_vs_interpreted") or 0.0
+        jit_regressed = jit_speedup < 0.95
+        verdict = "REGRESSION" if jit_regressed else "ok"
+        print(
+            f"bench_repro --check: engine_soa_jit paired speedup "
+            f"{jit_speedup:.2f}x vs interpreted "
+            f"({jit_entry.get('jit_events', 0)} kernel events, "
+            f"required >= 0.95x) [{verdict}]"
+        )
+        if jit_regressed:
+            return 1
+
     # Observability gate: tapped vs untapped batched runs, paired,
     # interleaved in this same warmed process so both sides see the
     # same allocator and cache state.
@@ -685,8 +889,34 @@ def run_check(
         return 1
 
     if quick:
-        print("bench_repro --check: mapping gate skipped (--quick)")
+        print("bench_repro --check: shard scaling + mapping gates "
+              "skipped (--quick)")
         return 0
+
+    # Shard scaling gate: on a box with >= 4 CPUs the 4-machine halo
+    # ring must actually go >= 2.5x faster at 4 workers — honest
+    # multi-worker scaling, enforced, not just recorded. On a smaller
+    # box the probe is skipped with the CPU count in the message (the
+    # full run_full record keeps the same skip reason).
+    from repro.sim.shard import available_cpus
+
+    cpus = available_cpus()
+    if cpus >= 4:
+        scaling = shard_scaling_probe()
+        gate = scaling.get("gate", "")
+        verdict = "ok" if gate == "pass" else "REGRESSION"
+        print(
+            f"bench_repro --check: shard scaling speedup at 4 workers "
+            f"{scaling.get('speedup_at_4')}x on {cpus} cpus "
+            f"(required >= 2.5x) [{verdict}]"
+        )
+        if gate != "pass":
+            return 1
+    else:
+        print(
+            f"bench_repro --check: shard scaling gate skipped "
+            f"({cpus} cpu available; the speedup gate needs >= 4)"
+        )
 
     # Mapping gate: probe vs numpy canary, paired — same discipline as
     # the engine gates. The recorded ratio gets 2x headroom (cache state
@@ -744,6 +974,23 @@ def run_full() -> int:
     ev_s, dt_s = _best_of(lambda: engine_wide_events("soa"), 5)
     ev_wb, dt_wb = _best_of(lambda: engine_wide_events("batched"), 5)
     ev_sr, dt_sr = _best_of(lambda: engine_ring_events("soa"), 5)
+    print("running serial-chain chase probe ...", flush=True)
+    ev_c, dt_c = _best_of(lambda: engine_chain_events("soa"), 5)
+    chase_pairs, rate_nochase, rate_chase = _paired_ratios(
+        lambda: engine_chain_events("soa", chase=False),
+        lambda: engine_chain_events("soa", chase=True),
+        5,
+    )
+    chain_batched_pairs, _, rate_chain_b = _paired_rate_ratios(
+        lambda: engine_chain_events("soa"),
+        lambda: engine_chain_events("batched"),
+        5,
+    )
+    chase_stats = chain_chase_stats()
+    print("running SoA jit kernel probe ...", flush=True)
+    soa_jit = engine_soa_jit_probe()
+    if "skipped" in soa_jit:
+        print(f"  engine_soa_jit: skipped ({soa_jit['skipped']})", flush=True)
     soa_pairs, _, _ = _paired_rate_ratios(
         lambda: engine_wide_events("soa"),
         lambda: engine_ring_events("batched"),
@@ -813,6 +1060,33 @@ def run_full() -> int:
                 round(dt_b / dt_sr, 2) if dt_sr > 0 else None
             ),
         },
+        "engine_serial_chain": {
+            # The genuinely serial token chain (one runnable thread at
+            # any instant) on the SoA core with the chain chase on:
+            # the workload the chase run-ahead targets.
+            "events": ev_c,
+            "seconds": dt_c,
+            "events_per_second": ev_c / dt_c if dt_c > 0 else None,
+            "nochase_events_per_second": rate_nochase,
+            # Median paired time ratio chase-off / chase-on: the
+            # feature's own drift-cancelled speedup on this container.
+            "chase_speedup_vs_nochase": (
+                round(statistics.median(chase_pairs), 2)
+                if chase_pairs else None
+            ),
+            "batched_events_per_second": rate_chain_b,
+            # Median paired rate ratio SoA(+chase) / batched on the same
+            # chain — the scalar-path parity number (was 0.86x on the
+            # classic ring before the chase landed).
+            "soa_vs_batched_chain_ratio": (
+                round(statistics.median(chain_batched_pairs), 2)
+                if chain_batched_pairs else None
+            ),
+            # How many of a short reference run's events each run-ahead
+            # path absorbed (chase: pure-python; jit: compiled kernel).
+            "chase_stats": chase_stats,
+        },
+        "engine_soa_jit": soa_jit,
         "engine_ring_traced": {
             "events": ev_t,
             "seconds": dt_t,

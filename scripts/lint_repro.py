@@ -79,6 +79,9 @@ def run_sim_smoke() -> int:
     n = difftest.run_smoke()
     print(f"lint_repro: difftest smoke — {n} program(s) bit-identical "
           "across the object, batched and SoA cores")
+    n = difftest.run_chain_smoke()
+    print(f"lint_repro: chain difftest smoke — {n} serial-dependency "
+          "program(s) bit-identical (chain chase / run-ahead paths)")
     return 0
 
 

@@ -96,6 +96,11 @@ HOT_TARGETS: tuple[tuple[str, str, tuple[str, ...]], ...] = (
     # scales with traffic, so it stays under the alloc rule with
     # amortized costs suppressed in place.
     ("repro/sim/shard.py", "run_sharded", ("alloc",)),
+    # The run-ahead kernel body: the exact code numba compiles (or
+    # CPython interprets as the fallback twin), so a stray allocation
+    # is either a compile error or a per-round cost. The wrapper module
+    # is import-time only; only the kernel function is hot.
+    ("repro/sim/jit.py", "_chain_runahead", ("alloc", "tap")),
     ("repro/sim/engine.py", "Engine.run", ("alloc", "tap")),
     ("repro/sim/engine.py", "BatchedQueue", ("alloc",)),
     ("repro/sim/cache.py", "L3State.install", ("alloc",)),

@@ -161,6 +161,30 @@ class BatchedQueue:
     def peek_when(self) -> float | None:
         return self.when_heap[0] if self.when_heap else None
 
+    def pop_single(self) -> tuple[float, int, int, object] | None:
+        """Pop the earliest event *iff* it is alone in its bucket.
+
+        The single-ready fast pop: a serial dependency chain leaves
+        exactly one event per timestamp, and this is the O(1) shape
+        test for it — no slicing, no list-of-lists split. Returns
+        ``(when, seq, kind, payload)``, or None when the queue is empty
+        *or* the earliest bucket holds more than one event (the bucket
+        is left untouched; use :meth:`pop_batch`). The SoA core's
+        chain chase inlines this probe against the bound-local dict and
+        heap; this method is the convenience surface for drivers and
+        tests.
+        """
+        heap = self.when_heap
+        if not heap:
+            return None
+        when = heap[0]
+        b = self.buckets[when]
+        if len(b) != 3:
+            return None
+        heapq.heappop(heap)
+        del self.buckets[when]
+        return when, b[0], b[1], b[2]
+
     def pop_batch(self) -> tuple[float, list[int], list[int], list] | None:
         """Remove and return the earliest bucket ``(when, seqs, kinds,
         payloads)``, or None when empty. Batch semantics are exact: every

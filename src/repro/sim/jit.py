@@ -1,0 +1,116 @@
+"""Optional compiled run-ahead kernel for the SoA simulator core.
+
+The SoA core's vectorized drain (:mod:`repro.sim.soa`) advances a
+lockstep gang of busy completions one *round* per calendar bucket:
+price the chunks in one numpy pass, emit one :data:`~repro.sim.engine.
+EV_VBUSY` event at the common completion instant, pop it again next
+iteration. When the gang is alone in the world — empty calendar past
+the live bucket, empty object heap, empty ready queue, busy-ring tap
+off — every one of those rounds is predetermined, and the interpreter
+round-trip is pure overhead. :func:`chain_runahead` collapses the whole
+stretch: it advances the gang round after round directly over the
+preallocated columns until a lane becomes ineligible, the chunks
+diverge, or a budget/horizon boundary is hit, and reports how far it
+got so the interpreter can re-seat the pending completion and resume.
+
+The kernel body is written once, in loop style, and wrapped with
+``numba.njit`` when the ``repro[jit]`` extra is installed
+(:data:`HAVE_NUMBA`). Without numba the *same function object* runs as
+pure python — far slower per round, but bit-identical, which is how the
+equivalence and difftest suites referee the kernel logic on containers
+that cannot install the extra (``SimLimits(jit="on")`` forces it).
+Import never fails: the gate degrades, it does not raise, and
+``SimLimits(jit="auto")`` only selects the kernel when it is compiled.
+
+Bit-identity contract (same as every other fast path in the package):
+each round applies exactly the float expressions of
+``soa.vec_advance`` — ``su2 = su if below else 0.0``,
+``chunk = min(pend, timeslice - su2)``, per-lane adds in lane order —
+and refuses any round the interpreter would not have handled as a
+uniform vector advance. IEEE doubles make the loop-style arithmetic
+elementwise identical to the numpy expressions, compiled or not.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HAVE_NUMBA", "chain_runahead"]
+
+try:  # pragma: no cover - exercised only where the extra is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:
+    njit = None
+    HAVE_NUMBA = False
+
+
+def _chain_runahead(
+    sl, pend, ch, busy, pub, sr, bnd, pu, tids,
+    t, timeslice, ts_edge, horizon, max_rounds,
+):
+    """Advance a lockstep gang round after round over the SoA columns.
+
+    Entered while the interpreter holds a pending gang completion at
+    time *t* (the VBUSY event it just popped, not yet advanced). One
+    round = process that completion (advance every lane one chunk) and
+    schedule the next at ``t + chunk``. Rounds apply only while they
+    are provably what the interpreter would do: every lane still
+    eligible (pending work, and below the quantum edge or bound), all
+    chunks equal, processing time within *horizon*, round count within
+    *max_rounds* (the caller derives it from the event budget).
+
+    Returns ``(rounds, pending, t_proc)``: rounds applied, the time of
+    the now-pending (emitted, unprocessed) completion, and the time of
+    the last processed round — the clock value the interpreter must
+    adopt. With ``rounds == 0`` nothing was touched.
+    """
+    k = tids.shape[0]
+    rounds = 0
+    t_proc = t
+    pending = t
+    while rounds < max_rounds and pending <= horizon:
+        c0 = 0.0
+        ok = True
+        for i in range(k):
+            tid = tids[i]
+            pb = pend[tid]
+            if pb <= 0.0:
+                ok = False
+                break
+            su = sl[tid] + ch[tid]
+            below = su < ts_edge
+            if not below and not bnd[tid]:
+                ok = False
+                break
+            su2 = su if below else 0.0
+            rem = timeslice - su2
+            chunk = pb if pb <= rem else rem
+            if i == 0:
+                c0 = chunk
+            elif chunk != c0:
+                ok = False
+                break
+        if not ok:
+            break
+        for i in range(k):
+            tid = tids[i]
+            su = sl[tid] + ch[tid]
+            if su < ts_edge:
+                sl[tid] = su
+            else:
+                sl[tid] = 0.0
+                sr[tid] += 1
+            pend[tid] = pend[tid] - c0
+            ch[tid] = c0
+            busy[tid] += c0
+            pub[pu[tid]] += c0
+        t_proc = pending
+        pending = pending + c0
+        rounds += 1
+    return rounds, pending, t_proc
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only with the extra
+    chain_runahead = njit(cache=True)(_chain_runahead)
+else:
+    chain_runahead = _chain_runahead

@@ -211,8 +211,14 @@ class SimMachine:
         #: on both cores. Set here or via :meth:`attach_observer`.
         self.observer: SimObserver | None = observer
         #: Which run loop :meth:`run` actually executed ("soa",
-        #: "batched" or "object"); None before run().
+        #: "soa+jit", "batched" or "object"); None before run().
+        #: "soa+jit" is the SoA loop with the compiled run-ahead kernel
+        #: of :mod:`repro.sim.jit` selected (``SimLimits.jit``).
         self.core_used: str | None = None
+        #: Diagnostic counters of the SoA core's run-ahead paths
+        #: (``chase_events``, ``jit_events``: events absorbed by the
+        #: chain chase / the run-ahead kernel). Empty on other cores.
+        self.core_stats: dict = {}
         self.clock_hz = float(topology.root.attrs.get("clock_hz", 2.6e9))
         self._ready: deque[SimThread] = deque()
         self._pu_last_tid: dict[int, int] = {}
@@ -321,6 +327,24 @@ class SimMachine:
             return "batched"
         return "soa"  # "auto" and "soa"
 
+    def _use_jit(self) -> bool:
+        """Resolve ``SimLimits.jit`` against numba availability.
+
+        ``"auto"`` selects the compiled kernel only when the
+        ``repro[jit]`` extra is installed; ``"on"`` forces the kernel
+        (pure-python fallback without numba — slow, but it exercises
+        the exact kernel logic, which is how the equivalence tests
+        referee it); ``"off"`` never calls it.
+        """
+        jit = self.limits.jit
+        if jit == "on":
+            return True
+        if jit == "off":
+            return False
+        from repro.sim.jit import HAVE_NUMBA
+
+        return HAVE_NUMBA
+
     def run(
         self,
         *,
@@ -338,8 +362,11 @@ class SimMachine:
         that flat core and raise if a watcher makes it impossible.
         monitors/trace/on_place taps and
         :class:`~repro.sim.observe.SimObserver` run natively on every
-        core. All cores are bit-identical on fixed seeds;
-        :attr:`core_used` records which one executed.
+        core. On the SoA core, ``SimLimits.jit`` additionally selects
+        the compiled run-ahead kernel (``"auto"`` — only when the
+        ``repro[jit]`` extra is installed). All cores are bit-identical
+        on fixed seeds; :attr:`core_used` records which one executed
+        (``"soa+jit"`` when the kernel was selected).
 
         Raises :class:`DeadlockError` if threads remain blocked with an
         empty event queue (unless *allow_incomplete*).
@@ -359,13 +386,17 @@ class SimMachine:
         if max_events is None:
             max_events = self.limits.max_events
         use = self._select_core()
-        self.core_used = use
+        jit = use == "soa" and self._use_jit()
+        self.core_used = "soa+jit" if jit else use
         observer = self.observer
         if observer is not None:
             observer.begin(self)
         try:
             if use == "soa":
-                run_soa(self, max_cycles=max_cycles, max_events=max_events)
+                run_soa(
+                    self, max_cycles=max_cycles, max_events=max_events,
+                    jit=jit,
+                )
             elif use == "batched":
                 self._run_batched(max_cycles=max_cycles, max_events=max_events)
             else:
@@ -422,15 +453,16 @@ class SimMachine:
         if max_events is None:
             max_events = self.limits.max_events
         use = self._select_core()
+        jit = use == "soa" and self._use_jit()
         first = not self._ran
         self._ran = True
         if first:
-            self.core_used = use
+            self.core_used = "soa+jit" if jit else use
             observer = self.observer
             if observer is not None:
                 observer.begin(self)
         if use == "soa":
-            run_soa(self, max_cycles=until, max_events=max_events)
+            run_soa(self, max_cycles=until, max_events=max_events, jit=jit)
         elif use == "batched":
             self._run_batched(max_cycles=until, max_events=max_events)
         else:

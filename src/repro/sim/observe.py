@@ -144,12 +144,19 @@ class Histogram:
     def observe(self, value: float, n: int = 1) -> None:
         """Record *value*, optionally *n* identical observations at once
         (fold() feeds pre-aggregated per-depth counts this way)."""
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[i] += n
-                break
+        if value <= self.bounds[0]:
+            # Batch-of-one fast path: serial chain workloads dispatch
+            # one waker at a time, so fold()'s queue-depth stream is
+            # dominated by first-bucket (depth 0/1) observations — one
+            # comparison instead of the bound scan.
+            self.bucket_counts[0] += n
         else:
-            self.bucket_counts[-1] += n
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += n
+                    break
+            else:
+                self.bucket_counts[-1] += n
         self.count += n
         self.sum += value * n
 
@@ -520,12 +527,13 @@ class SimObserver:
                 if count:
                     hist.observe(depth, count)
         if self.kind_counts is not None and machine.core_used in (
-            "batched", "soa"
+            "batched", "soa", "soa+jit"
         ):
             # Per-kind event split exists only where events are kind-coded
             # — the object path drains opaque closures. The SoA core
             # counts each lane of a vector busy completion as one busy
-            # event, so the split is identical across the flat cores.
+            # event — and each chased or kernel-absorbed completion too —
+            # so the split is identical across the flat cores.
             for kind, name in enumerate(("call", "step", "busy", "drain")):
                 reg.counter("sim_events_by_kind_total", kind=name).inc(
                     self.kind_counts[kind]

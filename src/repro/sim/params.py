@@ -36,13 +36,33 @@ class SimLimits:
     before the SoA core prices the run in one numpy segment instead of
     scalar triples. Lower than ``batch_min`` because the SoA core keeps
     its state in arrays already — the segment pays only the mask/gather,
-    not a per-thread attribute walk.
+    not a per-thread attribute walk. Consulted both at drain entry and
+    when a vector event *narrows* mid-drain: a still-eligible prefix
+    below ``vec_min`` re-materializes as scalar triples instead of
+    paying the numpy setup per sub-batch.
+    ``chase``: enable the SoA core's chain-chasing run-ahead — when a
+    completion is provably the unique next event (empty calendar and
+    object heap past the live bucket), the scalar path follows the
+    dependency chain directly instead of round-tripping each hop
+    through the calendar queue. Bit-identical either way; the knob
+    exists for A/B tests and as an escape hatch.
+    ``jit``: compiled run-ahead kernel selection for the SoA core.
+    ``"auto"`` (default) uses the numba kernel when the ``repro[jit]``
+    extra is installed and silently stays pure-python otherwise;
+    ``"on"`` forces the kernel (the pure-python fallback of
+    :mod:`repro.sim.jit` when numba is absent — slow, but it exercises
+    the exact kernel logic, which is how the equivalence tests referee
+    it without numba); ``"off"`` never calls it.
+    :attr:`SimMachine.core_used` records ``"soa+jit"`` when the kernel
+    was active.
     """
 
     max_ops_per_step: int = 100_000
     max_events: int = 20_000_000
     batch_min: int = 16
     vec_min: int = 8
+    chase: bool = True
+    jit: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_ops_per_step < 1:
@@ -53,6 +73,10 @@ class SimLimits:
             raise SimulationError("batch_min must be >= 2")
         if self.vec_min < 2:
             raise SimulationError("vec_min must be >= 2")
+        if self.jit not in ("auto", "on", "off"):
+            raise SimulationError(
+                f"jit must be 'auto', 'on' or 'off', got {self.jit!r}"
+            )
 
 
 @dataclass(frozen=True)

@@ -59,11 +59,30 @@ __all__ = [
     "ShardSpec",
     "Scenario",
     "ShardRunResult",
+    "available_cpus",
     "register_program",
     "run_sharded",
     "halo_ring_scenario",
     "SHARD_PROGRAMS",
 ]
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use.
+
+    ``sched_getaffinity`` where available (cgroup/taskset aware — the
+    honest number for "can 4 workers really run in parallel here"),
+    ``os.cpu_count()`` otherwise. ``run_sharded(workers="auto")`` and
+    the ``shard_scaling`` bench gate both consult this, so a 1-CPU CI
+    container records *why* it skipped the speedup claim instead of
+    silently failing it.
+    """
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 # -- scenario description ------------------------------------------------------
@@ -589,7 +608,7 @@ def _fingerprint(per_shard: dict, message_log: list, epochs: int) -> str:
 def run_sharded(
     scenario: Scenario,
     *,
-    workers: int | None = None,
+    workers: int | str | None = None,
     window: float | None = None,
     max_epochs: int = 100_000,
     max_events_per_window: int | None = None,
@@ -597,10 +616,12 @@ def run_sharded(
     """Run a multi-machine scenario to completion.
 
     ``workers=None`` follows :func:`repro.parallel.default_jobs`
-    (``REPRO_JOBS``, default 1). ``window`` overrides the lookahead
-    bound — it must not exceed the minimum channel latency or the
-    conservative guarantee breaks (enforced). The global trace
-    fingerprint is identical for every ``workers`` value.
+    (``REPRO_JOBS``, default 1); ``workers="auto"`` sizes the pool to
+    :func:`available_cpus` (capped at the shard count like any explicit
+    value). ``window`` overrides the lookahead bound — it must not
+    exceed the minimum channel latency or the conservative guarantee
+    breaks (enforced). The global trace fingerprint is identical for
+    every ``workers`` value.
     """
     if workers is None:
         # Lazy: repro.parallel pulls in repro.experiments (which imports
@@ -608,6 +629,8 @@ def run_sharded(
         from repro.parallel.executor import default_jobs
 
         workers = default_jobs()
+    elif workers == "auto":
+        workers = available_cpus()
     n_shards = len(scenario.shards)
     workers = max(1, min(int(workers), n_shards))
     W = scenario.window if window is None else float(window)

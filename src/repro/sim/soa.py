@@ -31,6 +31,35 @@ sequence numbers preserved, so fixed-seed runs stay *bit-identical* to
 the batched and object cores (``tests/test_sim_batched_equivalence.py``
 and the difftest harness referee all three).
 
+Two run-ahead paths sit on top of the vectorized drain, both strictly
+semantics-preserving:
+
+* the **chain chase** — the serial complement of the vector path. A
+  dependency chain (token ring, pipeline stage hand-off) leaves exactly
+  one event per calendar bucket, so the vectorized drain never engages
+  and every hop pays a full bucket+heap round-trip. When an emitted
+  completion is provably the unique next event in the world (the live
+  bucket is drained, the timestamp heap and the object heap are empty,
+  and the budget/horizon allow it), the scalar handlers skip the
+  calendar: they relocate the drained live bucket to the completion
+  instant (so same-instant signals still append to it), jump the clock,
+  and process the completion directly at the top of the loop. Each
+  chased hop still allocates its seq, counts against the event budget
+  and fires every tap exactly as the round-trip would — the chase
+  changes *where* the next event comes from, never *what* happens.
+  ``SimLimits.chase`` is the off switch for A/B runs.
+
+* the optional **compiled run-ahead kernel** (:mod:`repro.sim.jit`,
+  ``SimLimits.jit``) — the vector complement of the chase. A lockstep
+  gang that is alone in the world re-runs the same predetermined
+  vector round bucket after bucket; the kernel advances the columns
+  through the whole stretch in one call (numba-compiled when the
+  ``repro[jit]`` extra is installed, same function pure-python
+  otherwise) and the interpreter re-seats the pending completion it
+  leaves behind. ``machine.core_used`` reports ``"soa+jit"`` when the
+  kernel is selected; ``machine.core_stats`` counts the events either
+  fast path absorbed.
+
 Column state folds back into the ``SimThread`` objects in the ``finally``
 block, before :meth:`SimObserver.fold` runs and before leftover bucket
 events are converted to object-path re-entry shims — which is what makes
@@ -72,13 +101,15 @@ from repro.sim.process import Compute, Spawn, Touch, Wait, YieldCPU
 __all__ = ["run_soa"]
 
 
-def run_soa(machine, *, max_cycles, max_events):
+def run_soa(machine, *, max_cycles, max_events, jit=False):
     """Drain *machine* on the SoA core (see module docstring).
 
     Mirrors ``SimMachine._run_batched`` statement for statement on the
     scalar paths — same float expressions, same (when, seq) order, same
     rng call order. When changing either core, mirror the other; the
-    golden-trace equivalence tests are the referee.
+    golden-trace equivalence tests are the referee. *jit* selects the
+    run-ahead kernel (resolved by ``SimMachine`` from ``SimLimits.jit``
+    and numba availability).
     """
     # Lazy import: machine.py imports this module at its top.
     from repro.sim.machine import _OP_BASES, _OP_CODE
@@ -91,6 +122,15 @@ def run_soa(machine, *, max_cycles, max_events):
     # Flat buckets interleave seq/kind/payload: the cheap probe gate
     # compares against 3x the event count.
     vec_min3 = vec_min * 3
+    chase_on = limits.chase
+    runahead = None
+    if jit:
+        from repro.sim.jit import chain_runahead as runahead
+    # Both run-ahead paths compare emission instants against one plain
+    # float: +inf when the run is unbounded in time.
+    horizon = float("inf") if max_cycles is None else max_cycles
+    n_chased = 0
+    n_jit = 0
 
     # -- hoisted model constants and subsystem internals ----------------
     timeslice = model.timeslice_cycles
@@ -305,6 +345,23 @@ def run_soa(machine, *, max_cycles, max_events):
     def dispatch():
         d = len(ready)
         obs_depths[d if d < depth_last else depth_last] += 1
+        while d == 1:
+            # Single-ready fast path — the common shape on serial
+            # dependency chains, where every wakeup readies exactly one
+            # thread. Same placement decision, same failure handling
+            # (peek instead of popleft+append keeps the thread at the
+            # head), none of the rotation scaffolding.
+            thread = ready[0]
+            pu = place(thread, rebalance=thread.needs_rebalance)
+            if pu is None:
+                return
+            ready.popleft()
+            thread.needs_rebalance = False
+            start_on(thread, pu)
+            # A placement hook may have readied more threads; re-check.
+            d = len(ready)
+            if d == 0:
+                return
         progressed = True
         while progressed and ready:
             progressed = False
@@ -358,8 +415,17 @@ def run_soa(machine, *, max_cycles, max_events):
         dispatch()
 
     def drain(event):
-        woke = False
         waiters = event.waiters
+        if event.count == 1 and len(waiters) == 1:
+            # Single-waiter fast path: the token hand-off of a serial
+            # chain. Same pop/decrement order as the general loop.
+            thread = waiters.pop(0)
+            event.count = 0
+            thread.waiting_on = None
+            make_ready(thread)
+            dispatch()
+            return
+        woke = False
         while event.count > 0 and waiters:
             thread = waiters.pop(0)
             event.count -= 1
@@ -492,13 +558,30 @@ def run_soa(machine, *, max_cycles, max_events):
     bi = 0
     bwhen = 0.0
     blive = False
+    # The chain chase's hand-off slot: an emit site that proved its
+    # completion is the unique next event parks the thread here instead
+    # of the calendar; the loop top picks it up immediately.
+    chase_t = None
     try:
         for thread in thread_list:
             if thread.state == "new":
                 make_ready(thread)
         dispatch()
         while True:
-            if bi < len(bb):
+            if chase_t is not None:
+                # A chased completion. The emit site proved nothing else
+                # is pending anywhere (drained live bucket, empty
+                # timestamp heap, empty object heap), allocated the seq,
+                # advanced the clock and checked budget and horizon —
+                # processing it here is bit-identical to the calendar
+                # round-trip it skipped, including every tap.
+                payload = chase_t
+                chase_t = None
+                ev_kind = EV_BUSY
+                processed += 1
+                obs_kinds[EV_BUSY] += 1
+                n_chased += 1
+            elif bi < len(bb):
                 if eheap:
                     # External engine.schedule traffic — and re-entry
                     # shims from a previous window's exit conversion,
@@ -540,6 +623,47 @@ def run_soa(machine, *, max_cycles, max_events):
                     base = bb[bi]
                     bi += 3
                     k = len(tids)
+                    if (
+                        runahead is not None
+                        and not ready
+                        and not wheap_l
+                        and bi == len(bb)
+                        and not eheap
+                        and ring_busy_period == 0
+                        and processed + k <= budget
+                    ):
+                        # The gang is alone in the world: every further
+                        # round is predetermined, so hand the stretch to
+                        # the run-ahead kernel (repro.sim.jit), adopt
+                        # the clock of its last processed round, and
+                        # re-seat the pending completion it leaves as a
+                        # fresh single-event bucket — the unchanged
+                        # handler logic then deals with whatever
+                        # stopped it (narrowing, divergence, budget,
+                        # horizon).
+                        rounds, t_pend, t_proc = runahead(
+                            sl_np, pend_np, ch_np, busy_np, pub_np,
+                            sr_np, bnd_np, puq_np, tids, now,
+                            timeslice, ts_edge, horizon,
+                            (budget - processed) // k,
+                        )
+                        if rounds:
+                            rk = rounds * k
+                            processed += rk
+                            n_jit += rk
+                            obs_kinds[EV_BUSY] += rk
+                            eng._seq = eng._seq + rk
+                            now = t_proc
+                            eng.now = t_proc
+                            del buckets_l[bwhen]
+                            blive = False
+                            del bb[:]
+                            bb.append(eng._seq - k + 1)
+                            bb.append(EV_VBUSY)
+                            bb.append(tids)
+                            buckets_l[t_pend] = bb
+                            push(wheap_l, t_pend)
+                            continue
                     su_v = sl_np[tids] + ch_np[tids]
                     pend_v = pend_np[tids]
                     below_v = su_v < ts_edge
@@ -549,6 +673,13 @@ def run_soa(machine, *, max_cycles, max_events):
                     else:
                         elig = pos & (below_v | bnd_np[tids])
                     seg = k if bool(elig.all()) else int(np.argmin(elig))
+                    if seg < k and seg < vec_min:
+                        # The gang narrowed mid-drain: a still-eligible
+                        # prefix below vec_min is not worth the numpy
+                        # setup per sub-batch — re-materialize every
+                        # lane and take the scalar pump (identical
+                        # arithmetic and emission order either way).
+                        seg = 0
                     if processed + seg > budget:
                         seg = 0
                     if seg:
@@ -709,6 +840,32 @@ def run_soa(machine, *, max_cycles, max_events):
                         col_chunk[tid] = chunk
                         eng._seq = s2 = eng._seq + 1
                         w2 = now + chunk
+                        if (
+                            chase_on
+                            and bi == len(bb)
+                            and processed < budget
+                            and w2 <= horizon
+                            and (not wheap_l or w2 < wheap_l[0])
+                            and (not eheap or w2 < eheap[0][0])
+                        ):
+                            # Chain chase: this completion is provably
+                            # the next event anywhere — the live bucket
+                            # is drained and w2 strictly beats every
+                            # pending timestamp (a tie would lose on
+                            # seq order, and strictness also means no
+                            # bucket exists at w2 yet). Relocate the
+                            # drained live bucket to w2 (same-instant
+                            # signals keep appending to it), jump the
+                            # clock, skip the calendar round-trip.
+                            del buckets_l[bwhen]
+                            del bb[:]
+                            buckets_l[w2] = bb
+                            bwhen = w2
+                            bi = 0
+                            now = w2
+                            eng.now = w2
+                            chase_t = thread
+                            continue
                         b2 = buckets_l.get(w2)
                         if b2 is None:
                             buckets_l[w2] = [s2, EV_BUSY, thread]
@@ -734,6 +891,24 @@ def run_soa(machine, *, max_cycles, max_events):
                     col_chunk[tid] = chunk
                     eng._seq = s2 = eng._seq + 1
                     w2 = now + chunk
+                    if (
+                        chase_on
+                        and bi == len(bb)
+                        and processed < budget
+                        and w2 <= horizon
+                        and (not wheap_l or w2 < wheap_l[0])
+                        and (not eheap or w2 < eheap[0][0])
+                    ):
+                        # Chain chase (see the EV_BUSY handler).
+                        del buckets_l[bwhen]
+                        del bb[:]
+                        buckets_l[w2] = bb
+                        bwhen = w2
+                        bi = 0
+                        now = w2
+                        eng.now = w2
+                        chase_t = thread
+                        continue
                     b2 = buckets_l.get(w2)
                     if b2 is None:
                         buckets_l[w2] = [s2, EV_BUSY, thread]
@@ -948,6 +1123,24 @@ def run_soa(machine, *, max_cycles, max_events):
                         col_chunk[tid] = chunk
                         eng._seq = s2 = eng._seq + 1
                         w2 = now + chunk
+                        if (
+                            chase_on
+                            and bi == len(bb)
+                            and processed < budget
+                            and w2 <= horizon
+                            and (not wheap_l or w2 < wheap_l[0])
+                            and (not eheap or w2 < eheap[0][0])
+                        ):
+                            # Chain chase (see the EV_BUSY handler).
+                            del buckets_l[bwhen]
+                            del bb[:]
+                            buckets_l[w2] = bb
+                            bwhen = w2
+                            bi = 0
+                            now = w2
+                            eng.now = w2
+                            chase_t = thread
+                            break
                         b2 = buckets_l.get(w2)
                         if b2 is None:
                             buckets_l[w2] = [s2, EV_BUSY, thread]
@@ -985,6 +1178,24 @@ def run_soa(machine, *, max_cycles, max_events):
                         col_chunk[tid] = chunk
                         eng._seq = s2 = eng._seq + 1
                         w2 = now + chunk
+                        if (
+                            chase_on
+                            and bi == len(bb)
+                            and processed < budget
+                            and w2 <= horizon
+                            and (not wheap_l or w2 < wheap_l[0])
+                            and (not eheap or w2 < eheap[0][0])
+                        ):
+                            # Chain chase (see the EV_BUSY handler).
+                            del buckets_l[bwhen]
+                            del bb[:]
+                            buckets_l[w2] = bb
+                            bwhen = w2
+                            bi = 0
+                            now = w2
+                            eng.now = w2
+                            chase_t = thread
+                            break
                         b2 = buckets_l.get(w2)
                         if b2 is None:
                             buckets_l[w2] = [s2, EV_BUSY, thread]
@@ -1024,7 +1235,12 @@ def run_soa(machine, *, max_cycles, max_events):
                     if ring_add is not None:
                         ring_add(TR_BLOCK, now, thread.tid, thread.pu)
                     release_pu(thread)
-                    dispatch()
+                    if ready:
+                        dispatch()
+                    else:
+                        # Inline the empty-queue dispatch: nothing to
+                        # place, only the depth histogram to keep exact.
+                        obs_depths[0] += 1
                     break
                 elif code == 3:  # Spawn
                     target = op.thread
@@ -1054,6 +1270,12 @@ def run_soa(machine, *, max_cycles, max_events):
         machine._soa_bound = None
         eng.now = now
         eng._events_processed = processed
+        # Diagnostic only (benchmarks and threshold tests read these):
+        # how many events each run-ahead path absorbed. Accumulates
+        # across windows.
+        stats = machine.core_stats
+        stats["chase_events"] = stats.get("chase_events", 0) + n_chased
+        stats["jit_events"] = stats.get("jit_events", 0) + n_jit
         machine.memory.store_free_at(node_free_at)
         # Fold the columns back into the SimThread objects by assignment
         # — exact (the column held the authoritative double), and safe

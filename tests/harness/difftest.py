@@ -42,12 +42,14 @@ __all__ = [
     "TAP_MODES",
     "ProgramSpec",
     "generate_programs",
+    "generate_chain_programs",
     "run_one",
     "check_program",
     "run_smoke",
+    "run_chain_smoke",
 ]
 
-APPS = ("lk23", "matmul", "video")
+APPS = ("lk23", "matmul", "video", "chain")
 TAP_MODES = ("off", "on", "sampled")
 TOPOLOGIES = {
     "smp12e5": smp12e5,
@@ -81,6 +83,14 @@ class ProgramSpec:
 
 
 def _draw_config(app: str, rng: Random) -> dict:
+    if app == "chain":
+        return {
+            "shape": rng.choice(("ring", "line", "stages")),
+            "n_threads": rng.choice((3, 5, 8)),
+            "loops": rng.choice((20, 40, 60)),
+            "flops": rng.choice((5e3, 1e4, 4e4)),
+            "nbytes": rng.choice((0, 2048, 8192)),
+        }
     if app == "lk23":
         return {
             "n": rng.choice((8, 12, 16, 24)),
@@ -168,6 +178,88 @@ def _make_taps(mode: str) -> Taps:
     )
 
 
+def build_chain_machine(spec: ProgramSpec, core: str, taps: Taps):
+    """A dependency-chain program straight on a :class:`SimMachine`.
+
+    The "chain" family exists because the three ORWL apps are all
+    pipeline-parallel: many threads are runnable at once, so the SoA
+    core's serial-chain fast paths (the chain chase and, with
+    ``SimLimits(jit="on")``, the run-ahead kernel's interpreted twin)
+    barely fire under difftest. These shapes pin them down:
+
+    ``ring``
+        a single token passed around *n_threads* stages — exactly one
+        runnable thread at any instant, the pure chase workload;
+    ``line``
+        thread 0 produces *loops* tokens through a relay of stages — a
+        filling pipeline that repeatedly narrows back to a chain;
+    ``stages``
+        the relay with writes to buffers shared by adjacent stages —
+        chain hand-offs interleaved with cache/invalidation traffic.
+    """
+    from repro.sim import Compute, SimMachine, Touch, Wait
+    from repro.util.bitmap import Bitmap
+
+    cfg = dict(spec.config)
+    shape = cfg["shape"]
+    n = cfg["n_threads"]
+    loops = cfg["loops"]
+    flops = cfg["flops"]
+    nbytes = cfg["nbytes"]
+    machine = SimMachine(
+        TOPOLOGIES[spec.topology](), seed=spec.seed,
+        trace=taps.legacy_trace, core=core, observer=taps.observer,
+    )
+    events = [machine.event(f"tok{i}") for i in range(n)]
+    bufs = None
+    if nbytes:
+        bufs = [machine.allocate(1 << 15, f"cb{i}") for i in range(n + 1)]
+    pus = machine.topology.pus
+
+    def ring_stage(i):
+        nxt = events[(i + 1) % n]
+        for _ in range(loops):
+            yield Wait(events[i])
+            yield Compute(flops)
+            if bufs is not None:
+                yield Touch(bufs[i], nbytes, write=True)
+            nxt.signal()
+
+    def head():
+        for _ in range(loops):
+            yield Compute(flops)
+            if bufs is not None:
+                yield Touch(bufs[0], nbytes, write=True)
+            events[1].signal()
+
+    def relay(i):
+        last = i == n - 1
+        for _ in range(loops):
+            yield Wait(events[i])
+            if shape == "stages" and bufs is not None:
+                yield Touch(bufs[i], nbytes, write=False)
+            yield Compute(flops)
+            if bufs is not None:
+                yield Touch(bufs[i + 1], nbytes, write=True)
+            if not last:
+                events[i + 1].signal()
+
+    for i in range(n):
+        gen = ring_stage(i) if shape == "ring" else (
+            head() if i == 0 else relay(i)
+        )
+        cpuset = None
+        if spec.affinity:
+            cpuset = Bitmap.single(pus[(i * 2) % len(pus)].os_index)
+        machine.add_thread(f"c{i}", gen, cpuset=cpuset)
+    if shape == "ring":
+        events[0].signal()
+    if taps.monitor is not None:
+        machine.monitors.append(taps.monitor)
+        machine.scheduler.on_place.append(taps.monitor.on_place)
+    return machine
+
+
 def build_runtime(spec: ProgramSpec, core: str, taps: Taps) -> Runtime:
     rt = Runtime(
         TOPOLOGIES[spec.topology](),
@@ -200,9 +292,13 @@ def _filtered_snapshot(observer: SimObserver) -> dict:
 def run_one(spec: ProgramSpec, core: str) -> dict:
     """Execute *spec* on *core*; return the full comparable fingerprint."""
     taps = _make_taps(spec.tap_mode)
-    rt = build_runtime(spec, core, taps)
-    rt.run()
-    machine = rt.machine
+    if spec.app == "chain":
+        machine = build_chain_machine(spec, core, taps)
+        machine.run()
+    else:
+        rt = build_runtime(spec, core, taps)
+        rt.run()
+        machine = rt.machine
     fp = {
         "core_used": machine.core_used,
         "counters": machine.total_counters().snapshot(),
@@ -255,6 +351,36 @@ def run_smoke(n: int = 6, seed: int = 0) -> int:
     """Preflight subset for tooling (regenerate_all): check the first *n*
     generated programs; returns how many passed (raises on mismatch)."""
     specs = generate_programs(n, seed=seed)
+    for spec in specs:
+        check_program(spec)
+    return len(specs)
+
+
+def generate_chain_programs(n: int, seed: int = 0) -> list[ProgramSpec]:
+    """*n* seeded chain-family specs, tap modes cycling — the serial
+    dependency programs that drive the SoA core's chase/run-ahead
+    paths, for focused smoke checks and threshold tests."""
+    rng = Random(seed)
+    return [
+        ProgramSpec(
+            index=i,
+            app="chain",
+            config=tuple(sorted(_draw_config("chain", rng).items())),
+            topology=rng.choice(tuple(TOPOLOGIES)),
+            affinity=rng.choice((False, True)),
+            seed=rng.randrange(10_000),
+            tap_mode=TAP_MODES[i % len(TAP_MODES)],
+        )
+        for i in range(n)
+    ]
+
+
+def run_chain_smoke(n: int = 6, seed: int = 0) -> int:
+    """Chain-heavy preflight: bit-identity of the serial-chain fast
+    paths across cores, taps off/on/sampled. The lint preflight runs
+    this next to :func:`run_smoke` so a chase regression can't hide
+    behind the pipeline-parallel app programs."""
+    specs = generate_chain_programs(n, seed=seed)
     for spec in specs:
         check_program(spec)
     return len(specs)

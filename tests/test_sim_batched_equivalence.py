@@ -116,6 +116,55 @@ def ring_machine(core: str, *, bound: bool, topo=smp12e5, seed: int = 0):
     return machine
 
 
+def serial_chain_machine(core: str, *, shape: str = "ring",
+                         bound: bool = True, seed: int = 0, limits=None):
+    """A genuinely serial dependency chain: every stage waits FIRST.
+
+    ``ring`` passes one token around 8 stages (exactly one runnable
+    thread at any instant); ``line`` has stage 0 produce tokens down a
+    relay; ``stages`` adds writes to buffers shared by adjacent relay
+    stages so chain hand-offs interleave with cache traffic.
+    """
+    machine = SimMachine(smp12e5(), seed=seed, core=core, limits=limits)
+    n = 8
+    loops = 30
+    events = [machine.event(f"e{i}") for i in range(n)]
+    bufs = [machine.allocate(1 << 15, f"b{i}") for i in range(n + 1)]
+
+    def ring_stage(i):
+        nxt = events[(i + 1) % n]
+        for _ in range(loops):
+            yield Wait(events[i])
+            yield Compute(1e4)
+            nxt.signal()
+
+    def head():
+        for _ in range(loops):
+            yield Compute(1e4)
+            yield Touch(bufs[0], 2048, write=True)
+            events[1].signal()
+
+    def relay(i):
+        for _ in range(loops):
+            yield Wait(events[i])
+            if shape == "stages":
+                yield Touch(bufs[i], 2048, write=False)
+            yield Compute(1e4)
+            yield Touch(bufs[i + 1], 2048, write=True)
+            if i < n - 1:
+                events[i + 1].signal()
+
+    for i in range(n):
+        gen = ring_stage(i) if shape == "ring" else (
+            head() if i == 0 else relay(i)
+        )
+        cpuset = Bitmap.single(2 * i) if bound else None
+        machine.add_thread(f"c{i}", gen, cpuset=cpuset)
+    if shape == "ring":
+        events[0].signal()
+    return machine
+
+
 class TestMachineGoldenTraces:
     @pytest.mark.parametrize("bound", [True, False])
     def test_ring(self, bound):
@@ -125,6 +174,29 @@ class TestMachineGoldenTraces:
             m.run()
             machines.append(m)
         assert_identical(*[machine_fingerprint(m) for m in machines])
+
+    @pytest.mark.parametrize("bound", [True, False])
+    @pytest.mark.parametrize("shape", ["ring", "line", "stages"])
+    def test_serial_chain(self, shape, bound):
+        """Chain-heavy programs: the serial-dependency shapes the chain
+        chase targets (unlike the classic ring above, whose stages all
+        compute before their first Wait and stay 24-wide). The SoA core
+        runs each shape three more ways — chase disabled, and with the
+        run-ahead kernel forced on (its interpreted twin when numba is
+        absent) — and every fingerprint must match the object core."""
+        fps = []
+        for core, limits in (
+            ("object", None),
+            ("batched", None),
+            ("soa", None),
+            ("soa", SimLimits(chase=False)),
+            ("soa", SimLimits(jit="on")),
+        ):
+            m = serial_chain_machine(core, shape=shape, bound=bound,
+                                     limits=limits)
+            m.run()
+            fps.append(machine_fingerprint(m))
+        assert_identical(*fps)
 
     def test_unbound_rng_parity_on_spread_policy(self):
         # smp20e7 defaults to the "spread" policy and unbound threads draw

@@ -58,9 +58,13 @@ def fingerprint(m: SimMachine) -> tuple:
 
 class TestCoreSelection:
     def test_auto_resolves_to_soa(self):
+        from repro.sim.jit import HAVE_NUMBA
+
         m = mixed_machine("auto")
         m.run()
-        assert m.core_used == "soa"
+        # With the repro[jit] extra installed, auto additionally picks
+        # up the compiled run-ahead kernel and records it.
+        assert m.core_used == ("soa+jit" if HAVE_NUMBA else "soa")
 
     def test_explicit_cores_honoured(self):
         for core in ("soa", "batched", "object"):
@@ -208,3 +212,144 @@ class TestLimitsValidation:
         with pytest.raises(SimulationError):
             SimLimits(vec_min=1)
         assert SimLimits(vec_min=2).vec_min == 2
+
+    def test_jit_knob_validated(self):
+        with pytest.raises(SimulationError):
+            SimLimits(jit="maybe")
+        for mode in ("auto", "on", "off"):
+            assert SimLimits(jit=mode).jit == mode
+
+
+def token_ring(core: str, *, limits=None, stages: int = 8,
+               loops: int = 40):
+    """Wait-first single-token ring: exactly one runnable thread at any
+    virtual instant — the chain chase's target workload."""
+    m = SimMachine(smp12e5(), core=core, limits=limits)
+    evs = [m.event(f"e{i}") for i in range(stages)]
+
+    def stage(i):
+        nxt = evs[(i + 1) % stages]
+        for _ in range(loops):
+            yield Wait(evs[i])
+            yield Compute(1e4)
+            nxt.signal()
+
+    for i in range(stages):
+        m.add_thread(f"s{i}", stage(i), cpuset=Bitmap.single(2 * i))
+    evs[0].signal()
+    return m
+
+
+def lockstep_gang(core: str, *, limits=None, threads: int = 16):
+    """All threads bound, identical multi-quantum computes: uniform
+    VBUSY gangs — the run-ahead kernel's target workload."""
+    m = SimMachine(smp12e5(), core=core, limits=limits)
+
+    def worker():
+        for _ in range(4):
+            yield Compute(2e8)
+
+    for i in range(threads):
+        m.add_thread(f"w{i}", worker(), cpuset=Bitmap.single(2 * i))
+    return m
+
+
+class TestChainChase:
+    def test_chase_engages_on_serial_chain(self):
+        m = token_ring("soa")
+        m.run()
+        assert m.core_stats["chase_events"] > 0
+        # Most of the ring's BUSY completions are provably-next events;
+        # the chase should absorb a substantial share, not a token few.
+        assert m.core_stats["chase_events"] * 4 >= m.engine.events_processed
+
+    def test_chase_off_is_untaken_and_bit_identical(self):
+        on = token_ring("soa")
+        on.run()
+        off = token_ring("soa", limits=SimLimits(chase=False))
+        off.run()
+        assert off.core_stats["chase_events"] == 0
+        assert fingerprint(off) == fingerprint(on)
+
+    def test_chase_does_not_fire_on_wide_workload(self):
+        # Every PU busy in lockstep: the calendar always holds pending
+        # buckets, so the provably-next probe must reject every emit.
+        m = lockstep_gang("soa")
+        m.run()
+        assert m.core_stats["chase_events"] == 0
+
+    def test_chase_honours_run_window(self):
+        one = token_ring("soa")
+        one.run()
+        win = token_ring("soa")
+        horizon = 0.0
+        for _ in range(12):
+            horizon += one.elapsed_cycles / 10
+            win.run_window(horizon)
+        win.run_window(1e15)
+        # The windowed clock lands on the final horizon (epoch-boundary
+        # semantics); everything else must match the one-shot run.
+        assert fingerprint(win)[1:] == fingerprint(one)[1:]
+        assert win.core_stats["chase_events"] > 0
+
+
+class TestJitKernel:
+    def test_forced_interpreted_kernel_engages_and_matches(self):
+        # jit="on" without numba runs the kernel's pure-python twin —
+        # slower, but it must take the same decisions bit for bit.
+        off = lockstep_gang("soa", limits=SimLimits(jit="off"))
+        off.run()
+        on = lockstep_gang("soa", limits=SimLimits(jit="on"))
+        on.run()
+        assert on.core_used == "soa+jit"
+        assert off.core_used == "soa"
+        assert on.core_stats["jit_events"] > 0
+        assert off.core_stats["jit_events"] == 0
+        assert fingerprint(on) == fingerprint(off)
+
+    def test_forced_kernel_matches_on_serial_chain(self):
+        # A serial chain never forms a gang, so the kernel must simply
+        # stay out of the way (zero absorbed events, identical run).
+        plain = token_ring("soa")
+        plain.run()
+        jit = token_ring("soa", limits=SimLimits(jit="on"))
+        jit.run()
+        assert jit.core_stats["jit_events"] == 0
+        assert fingerprint(jit) == fingerprint(plain)
+
+    def test_auto_matches_numba_availability(self):
+        from repro.sim.jit import HAVE_NUMBA
+
+        m = lockstep_gang("auto")
+        m.run()
+        assert m.core_used == ("soa+jit" if HAVE_NUMBA else "soa")
+
+
+class TestPopSingle:
+    def test_single_event_bucket_pops(self):
+        from repro.sim.engine import BatchedQueue, EV_STEP
+
+        q = BatchedQueue()
+        q.push(5.0, 1, EV_STEP, "a")
+        assert q.pop_single() == (5.0, 1, EV_STEP, "a")
+        assert q.pop_single() is None
+
+    def test_multi_event_bucket_refused(self):
+        from repro.sim.engine import BatchedQueue, EV_STEP
+
+        q = BatchedQueue()
+        q.push(5.0, 1, EV_STEP, "a")
+        q.push(5.0, 2, EV_STEP, "b")
+        assert q.pop_single() is None
+        assert len(q) == 2  # untouched
+        when, seqs, _, payloads = q.pop_batch()
+        assert (when, seqs, payloads) == (5.0, [1, 2], ["a", "b"])
+
+    def test_later_bucket_does_not_mask_earliest(self):
+        from repro.sim.engine import BatchedQueue, EV_STEP
+
+        q = BatchedQueue()
+        q.push(7.0, 2, EV_STEP, "later")
+        q.push(3.0, 1, EV_STEP, "first")
+        assert q.pop_single() == (3.0, 1, EV_STEP, "first")
+        assert q.pop_single() == (7.0, 2, EV_STEP, "later")
