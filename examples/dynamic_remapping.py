@@ -2,26 +2,30 @@
 """Advanced mode: re-mapping threads while the application runs.
 
 Sec. IV-B of the paper: beyond the automatic startup placement, the
-affinity API (orwl_dependency_get / orwl_affinity_compute /
-orwl_affinity_set) "handles dynamic situations where ... the affinity
-between tasks changes at run time".
+affinity API "handles dynamic situations where ... the affinity between
+tasks changes at run time".
 
 This example runs a ring of tasks whose heavy-traffic *pairing* shifts
-halfway through: first partners (0,1), (2,3), … exchange the bulk of the
-data, then the pairing rotates to (1,2), (3,4), …, (11,0). Task 0
-detects the shift, updates the declared traffic, and re-runs the
-three-call API from inside its body; the runtime rebinds every thread on
-the fly and the run completes with the new placement.
+halfway through: first partners (0,1), (2,3), ... exchange the bulk of
+the data, then the pairing rotates to (1,2), (3,4), ..., (11,0). Unlike
+the original hand-rolled version (where task 0 re-ran the three-call
+affinity API from inside its body), the detection and the remap are now
+fully automatic: an :class:`~repro.affinity.AdaptiveController` watches
+the live communication matrix between execution windows, notices the
+drift, re-runs TreeMatch warm-started from the current placement — the
+rotation is a small perturbation, so refining the live groups matches a
+cold start and wins the tie — and rebinds only the threads that moved.
 
 Run:  python examples/dynamic_remapping.py
 """
 
+from repro.affinity import AdaptiveController, ControllerConfig
 from repro.orwl import Runtime
 from repro.sim.process import Compute
 from repro.topology import smp20e7
 
 N = 12
-ITERS = 12
+ITERS = 24
 HEAVY = float(1 << 22)
 LIGHT = 64.0
 
@@ -32,63 +36,57 @@ def main() -> None:
     locs = [t.location("slot", 1 << 20) for t in tasks]
     fwd, bwd = {}, {}
 
-    def apply_pairing(offset: int) -> None:
-        """Heavy traffic between (2k+offset, 2k+1+offset) pairs."""
-        for j in range(N):
-            paired = (j - offset) % 2 == 0  # j starts a pair with j+1
-            fwd[j].traffic = HEAVY if paired else LIGHT
-            bwd[j].traffic = LIGHT if paired else HEAVY
-
     for i, t in enumerate(tasks):
         t.write_handle(locs[i], iterative=True)
         fwd[i] = t.read_handle(locs[(i + 1) % N], iterative=True)
         bwd[i] = t.read_handle(locs[(i - 1) % N], iterative=True)
-    apply_pairing(0)
-
-    snapshots = {}
+        # Declared traffic describes the *initial* pairing; the shifted
+        # second half is exactly what the declaration cannot know.
+        paired = i % 2 == 0
+        fwd[i].traffic = HEAVY if paired else LIGHT
+        bwd[i].traffic = LIGHT if paired else HEAVY
 
     for i, t in enumerate(tasks):
 
         def body(op, i=i):
             hw = op.handles[0]
             for it in range(ITERS):
-                if i == 0 and it == ITERS // 2:
-                    print(f"iteration {it}: pairing rotates — "
-                          "recomputing the mapping in-flight")
-                    apply_pairing(1)
-                    rt.dependency_get()        # orwl_dependency_get
-                    rt.affinity_compute()      # orwl_affinity_compute
-                    rt.affinity_set()          # orwl_affinity_set
-                    snapshots["after"] = dict(
-                        rt.affinity.placement.thread_to_pu
-                    )
+                offset = 0 if it < ITERS // 2 else 1
+                paired = (i - offset) % 2 == 0
                 yield from hw.acquire()
                 yield hw.touch()
                 yield Compute(2e6)
                 hw.release()
-                for h in (fwd[i], bwd[i]):
+                for h, heavy in ((fwd[i], paired), (bwd[i], not paired)):
                     yield from h.acquire()
-                    yield h.touch(h.traffic)
+                    yield h.touch(HEAVY if heavy else LIGHT)
                     h.release()
 
         t.set_body(body)
 
     rt.schedule()
-    rt.dependency_get()
-    startup = rt.affinity_compute()
-    snapshots["before"] = dict(startup.thread_to_pu)
+    controller = AdaptiveController.for_orwl(
+        rt,
+        config=ControllerConfig(
+            window_cycles=2e6, calibrate_windows=2, gather_windows=2
+        ),
+    )
+    before = dict(controller.placement.thread_to_pu)
 
-    result = rt.run()
-    print(f"\ncompleted in {result.seconds * 1e3:.2f} ms "
-          f"(migrations {result.counters.cpu_migrations} — rebinding moves "
-          "threads once, then they are pinned again)")
-    moved = [
-        i for i in range(N)
-        if snapshots["before"][i] != snapshots["after"][i]
-    ]
-    print(f"threads re-placed by the in-flight recomputation: {moved}")
-    print("before:", snapshots["before"])
-    print("after: ", snapshots["after"])
+    result = controller.run()
+
+    print(f"completed in {result.seconds * 1e3:.2f} ms over "
+          f"{controller.windows_run} windows "
+          f"(migrations {result.counters.cpu_migrations})")
+    for dec in controller.decisions:
+        kind = "warm-started" if dec.warm else "cold"
+        print(f"remap @ window {dec.window}: drift={dec.drift:.3f}, "
+              f"{kind} TreeMatch moved {dec.moved} thread(s)")
+    after = dict(controller.placement.thread_to_pu)
+    moved = [i for i in range(N) if before[i] != after[i]]
+    print(f"threads re-placed by the controller: {moved}")
+    print("before:", {i: before[i] for i in range(N)})
+    print("after: ", {i: after[i] for i in range(N)})
 
 
 if __name__ == "__main__":

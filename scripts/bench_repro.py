@@ -38,7 +38,11 @@ Two modes:
       trace fingerprint with 1 worker and 2 workers;
     * mapping gate — the TreeMatch probe (greedy p=1024 + multilevel
       p=4096) must stay within 2x of its recorded ratio against a numpy
-      matmul canary (informational until a ratio is recorded).
+      matmul canary (informational until a ratio is recorded);
+    * adaptive gates — on the phase-shift workload the remapping
+      controller must beat the best static placement >= 1.1x in
+      deterministic virtual seconds, and on the phase-stable control
+      program (zero remaps) its wall-clock overhead must stay <= 5%.
 
     ``--quick`` drops to 3 pairs and skips the mapping gate — a <10s
     smoke for lint preflight; ``regenerate_all.py`` runs the full check
@@ -606,6 +610,67 @@ def numpy_canary() -> tuple[int, float]:
     return 1, time.perf_counter() - t0
 
 
+def adaptive_static_probe(declared: str) -> tuple[int, float]:
+    """One static run of the phase-shift experiment, *virtual* seconds.
+
+    Returns ``(1, simulated_seconds)`` so it plugs into
+    :func:`_paired_ratios`. Virtual time is deterministic — the paired
+    discipline here guards the *comparison shape* (and doubles as a
+    determinism check: every pair must produce the same ratio), not
+    machine drift.
+    """
+    from repro.experiments.adaptive import AdaptSetup, run_static
+
+    return 1, run_static(declared, AdaptSetup(iters_per_phase=16))["seconds"]
+
+
+def adaptive_adaptive_probe() -> tuple[int, float]:
+    """One controller run of the phase-shift experiment, virtual seconds."""
+    from repro.experiments.adaptive import AdaptSetup, run_adaptive
+
+    return 1, run_adaptive(AdaptSetup(iters_per_phase=16))["seconds"]
+
+
+def adaptive_best_static() -> str:
+    """Which static declaration wins on the phase-shift workload."""
+    from repro.experiments.adaptive import DECLARED, AdaptSetup, run_static
+
+    setup = AdaptSetup(iters_per_phase=16)
+    return min(
+        ((run_static(d, setup)["seconds"], d) for d in DECLARED)
+    )[1]
+
+
+def adaptive_overhead_probe(controlled: bool) -> tuple[int, float]:
+    """Phase-stable control program, wall-clock, with/without controller.
+
+    Both sides run the *windowed* drain at the controller's window
+    spacing — the per-epoch teardown/re-entry cost of ``run_window`` is
+    the execution substrate's (the shard driver pays it with no
+    controller in sight), so the baseline includes it and the ratio
+    isolates what the controller itself adds: the telemetry tap, the
+    window fold and the drift score. The controller performs zero
+    remaps here (virtual time is bit-identical to the uncontrolled
+    run), and the addition is gated at <= 5%.
+    """
+    from repro.affinity import AdaptiveController
+    from repro.experiments.adaptive import (
+        AdaptSetup,
+        adapt_config,
+        build_runtime,
+        run_windowed,
+    )
+
+    setup = AdaptSetup(iters_per_phase=16, shift=False)
+    t0 = time.perf_counter()
+    if controlled:
+        rt = build_runtime("stencil", setup)
+        AdaptiveController.for_orwl(rt, config=adapt_config()).run()
+    else:
+        run_windowed("stencil", setup)
+    return 1, time.perf_counter() - t0
+
+
 def _paired_ratios(
     run_num, run_den, pairs: int, inner: int = 3
 ) -> tuple[list, float, float]:
@@ -889,8 +954,8 @@ def run_check(
         return 1
 
     if quick:
-        print("bench_repro --check: shard scaling + mapping gates "
-              "skipped (--quick)")
+        print("bench_repro --check: shard scaling + mapping + "
+              "adaptive_remap gates skipped (--quick)")
         return 0
 
     # Shard scaling gate: on a box with >= 4 CPUs the 4-machine halo
@@ -945,6 +1010,60 @@ def run_check(
             f"bench_repro --check: mapping probe/canary ratio {ratio:.2f} "
             f"(no recorded ratio — informational)"
         )
+
+    # Adaptive speedup gate: on the phase-shift workload the controller
+    # must beat the best static placement by >= 1.1x in *virtual*
+    # (simulated) seconds — deterministic, so every pair must also agree
+    # on the ratio exactly.
+    best = adaptive_best_static()
+    ratios, _, _ = _paired_ratios(
+        lambda: adaptive_static_probe(best),
+        adaptive_adaptive_probe,
+        3, inner=1,
+    )
+    adapt_speedup = statistics.median(ratios) if ratios else 0.0
+    nondet = len(set(round(r, 12) for r in ratios)) > 1
+    adapt_regressed = adapt_speedup < 1.1 or nondet
+    verdict = "REGRESSION" if adapt_regressed else "ok"
+    print(
+        f"bench_repro --check: adaptive_remap phase-shift speedup "
+        f"{adapt_speedup:.2f}x vs best static ({best}) in virtual time "
+        f"(required >= 1.10x, deterministic"
+        + (", NONDETERMINISTIC" if nondet else "")
+        + f") [{verdict}]"
+    )
+    if adapt_regressed:
+        return 1
+
+    # Adaptive overhead gate: on the phase-stable control program the
+    # controller does nothing (zero remaps, bit-identical virtual time),
+    # so what it adds over the uncontrolled *windowed* baseline — the
+    # telemetry tap, the window fold and the drift score — must stay
+    # within 5%. Gate on the ratio of best-observed runs, not the
+    # median: scheduler noise is strictly additive and this probe's
+    # true delta (~3%) sits below the per-run noise floor of a busy
+    # container, where a median over 5 pairs still flakes. The medians
+    # are printed for the record; a median below 1.0 marks the
+    # measurement unstable.
+    ratios, rate_ctl, rate_base = _paired_ratios(
+        lambda: adaptive_overhead_probe(True),
+        lambda: adaptive_overhead_probe(False),
+        max(pairs, 5),
+    )
+    adapt_overhead = rate_base / rate_ctl - 1.0 if rate_ctl > 0 else 0.0
+    med = statistics.median(ratios) - 1.0 if ratios else 0.0
+    overhead_regressed = adapt_overhead > 0.05
+    unstable = med < 0.0
+    verdict = "REGRESSION" if overhead_regressed else (
+        "ok, UNSTABLE measurement" if unstable else "ok"
+    )
+    print(
+        f"bench_repro --check: adaptive_remap phase-stable controller "
+        f"overhead {adapt_overhead:+.1%} wall-clock best-of "
+        f"(median {med:+.1%}, allowed <= 5%) [{verdict}]"
+    )
+    if overhead_regressed:
+        return 1
     return 0
 
 
@@ -1021,6 +1140,24 @@ def run_full() -> int:
     map_ratios, _, _ = _paired_ratios(mapping_probe, numpy_canary, 5)
     map_ratio = (
         round(statistics.median(map_ratios), 3) if map_ratios else None
+    )
+    print("running adaptive remap experiment ...", flush=True)
+    from repro.experiments.adaptive import AdaptSetup, run_experiment
+
+    adapt_report = run_experiment(AdaptSetup(iters_per_phase=16))
+    adapt_oh_pairs, oh_rate_ctl, oh_rate_base = _paired_ratios(
+        lambda: adaptive_overhead_probe(True),
+        lambda: adaptive_overhead_probe(False),
+        5,
+    )
+    # Best-of ratio (same estimator the --check gate uses) plus the
+    # median for the record.
+    adapt_overhead = (
+        round(oh_rate_base / oh_rate_ctl - 1.0, 3) if oh_rate_ctl > 0 else None
+    )
+    adapt_overhead_median = (
+        round(statistics.median(adapt_oh_pairs) - 1.0, 3)
+        if adapt_oh_pairs else None
     )
 
     record = {
@@ -1105,6 +1242,26 @@ def run_full() -> int:
         "fig4_quick_probe": probe,
         "mapping_bench": mapping,
         "mapping_check": {"probe_vs_canary_ratio": map_ratio},
+        "adaptive_remap": {
+            # Virtual-time (deterministic) phase-shift comparison; the
+            # --check gate requires speedup >= 1.1x over the best static.
+            "statics_seconds": adapt_report["statics"],
+            "adaptive_seconds": adapt_report["adaptive_seconds"],
+            "best_static": adapt_report["best_static"],
+            "speedup_vs_best_static": round(adapt_report["speedup"], 3),
+            "remaps": adapt_report["remaps"],
+            "windows": adapt_report["windows"],
+            # Wall-clock controller cost over the uncontrolled windowed
+            # baseline on the phase-stable control program (zero remaps;
+            # gate <= 5% on the best-of ratio). A negative median =
+            # unstable measurement, not a win.
+            "stable_overhead_wall": adapt_overhead,
+            "stable_overhead_wall_median": adapt_overhead_median,
+            "stable_overhead_unstable": (
+                adapt_overhead_median is not None
+                and adapt_overhead_median < 0.0
+            ),
+        },
     }
     speedups = mapping_speedups(mapping, previous)
     if speedups:

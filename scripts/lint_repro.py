@@ -17,7 +17,9 @@ Runs, in order:
 5. the simulator smoke: ``bench_repro --check --quick`` (throughput
    floor, SoA-vs-batched gate, tap overhead, shard fingerprint — a few
    noise-robust paired samples each) plus the three-way differential
-   smoke (object/batched/SoA bit-identity on generated programs).
+   smoke (object/batched/SoA bit-identity on generated programs);
+6. the adaptive-controller family: ``pytest -m adaptive`` (drift
+   detector properties, warm-start contract, zero-remap differential).
 
 Intended for CI and as the preflight step of
 ``scripts/regenerate_all.py``.
@@ -85,6 +87,22 @@ def run_sim_smoke() -> int:
     return 0
 
 
+def run_adaptive_tests() -> int:
+    """The ``adaptive`` pytest family (controller + warm-start tests)."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    src = os.path.join(root, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-m", "adaptive", "-q"],
+        cwd=root, env=env,
+    )
+    return proc.returncode
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     dynamic = "--dynamic" in args
@@ -115,8 +133,14 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return code
 
+    code = run_adaptive_tests()
+    if code != 0:
+        print(f"lint_repro: adaptive test family failed (exit {code})",
+              file=sys.stderr)
+        return code
+
     print("lint_repro: all apps lint clean, hot paths pure, "
-          "src byte-compiles, simulator smoke green")
+          "src byte-compiles, simulator smoke green, adaptive family green")
     return 0
 
 

@@ -1,0 +1,128 @@
+"""Drift scoring and the hysteresis trigger for adaptive remapping.
+
+The controller must answer one question per window: *has the
+communication pattern moved far enough from the one the current
+placement was derived from to justify paying for a remap?* Raw
+per-window scores are noisy (a single barrier-heavy window looks like a
+phase change), so the decision runs through three classic control-loop
+guards, in order:
+
+1. **EWMA smoothing** — ``ewma = alpha * score + (1 - alpha) * ewma``;
+2. **hysteresis band** — trigger only above ``high``, and only re-arm
+   after the smoothed score falls back below ``low`` (an oscillation
+   sitting inside the band can never thrash);
+3. **cooldown** — at least ``cooldown`` updates between triggers, so
+   the estimator has time to re-converge on the new phase before the
+   detector may fire again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AffinityError
+
+__all__ = ["drift_score", "DriftConfig", "DriftDetector"]
+
+
+def drift_score(live: np.ndarray, reference: np.ndarray) -> float:
+    """Total-variation distance between two comm-matrix *shapes*.
+
+    Both matrices are normalized to unit mass first, so the score is
+    scale-free in ``[0, 1]`` — live telemetry counts touched bytes while
+    a static dependency matrix counts declared bytes, and only the
+    *distribution* of traffic over thread pairs is comparable. Returns
+    0.0 when either side is empty (no evidence of change).
+    """
+    a = np.asarray(live, dtype=np.float64)
+    b = np.asarray(reference, dtype=np.float64)
+    if a.shape != b.shape:
+        raise AffinityError(
+            f"drift_score shapes differ: {a.shape} vs {b.shape}"
+        )
+    sa = a.sum()
+    sb = b.sum()
+    if sa <= 0.0 or sb <= 0.0:
+        return 0.0
+    return float(0.5 * np.abs(a / sa - b / sb).sum())
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Hysteresis parameters; see the module docstring for roles.
+
+    Defaults are tuned on the phase-shift experiment
+    (``repro-paper adapt``): a phase change moves the smoothed score
+    well above 0.25 within two windows, while per-window noise on a
+    stable phase stays under 0.1.
+    """
+
+    alpha: float = 0.5
+    high: float = 0.25
+    low: float = 0.10
+    cooldown: int = 2
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.alpha <= 1.0):
+            raise AffinityError(f"alpha must be in (0, 1], got {self.alpha}")
+        if not (0.0 <= self.low <= self.high):
+            raise AffinityError(
+                f"need 0 <= low <= high, got low={self.low} high={self.high}"
+            )
+        if self.cooldown < 0:
+            raise AffinityError(f"cooldown must be >= 0, got {self.cooldown}")
+
+
+class DriftDetector:
+    """The EWMA + hysteresis + cooldown trigger.
+
+    Starts armed with an empty history; :meth:`update` folds one
+    window's drift score and returns True when a remap should fire.
+    """
+
+    __slots__ = ("config", "ewma", "armed", "cooldown_left", "triggers", "updates")
+
+    def __init__(self, config: DriftConfig | None = None) -> None:
+        self.config = config or DriftConfig()
+        #: Smoothed drift score; None before the first update.
+        self.ewma: float | None = None
+        self.armed = True
+        self.cooldown_left = 0
+        self.triggers = 0
+        self.updates = 0
+
+    def reset(self) -> None:
+        """Forget the smoothing history (but not the trigger counts).
+
+        Called by the controller after every remap: the EWMA tracked
+        drift against the *old* reference, which the remap just
+        replaced, so carrying it over would either re-trigger on stale
+        history or (worse) keep the detector disarmed because the old
+        scores never decay below ``low``. Cooldown is preserved — it
+        guards real time between remaps, not reference identity.
+        """
+        self.ewma = None
+        self.armed = True
+
+    def update(self, score: float) -> bool:
+        """Fold one window's drift *score*; True => trigger a remap."""
+        if not (0.0 <= score <= 1.0 + 1e-9):
+            raise AffinityError(f"drift score out of range: {score}")
+        cfg = self.config
+        self.updates += 1
+        if self.ewma is None:
+            self.ewma = float(score)
+        else:
+            self.ewma = cfg.alpha * float(score) + (1.0 - cfg.alpha) * self.ewma
+        if self.cooldown_left > 0:
+            self.cooldown_left -= 1
+        if not self.armed and self.ewma <= cfg.low:
+            self.armed = True
+        if self.armed and self.cooldown_left == 0 and self.ewma >= cfg.high:
+            self.armed = False
+            self.cooldown_left = cfg.cooldown
+            self.triggers += 1
+            return True
+        return False

@@ -1,0 +1,117 @@
+"""Online communication-matrix estimation from simulator taps.
+
+The static pipeline (paper Sec. IV) is handed the communication matrix
+up front by ``orwl_dependency_get``; the adaptive controller has no such
+oracle and must *estimate* it from what the program actually does.
+:class:`WindowTelemetry` is a machine monitor (the duck-typed
+``on_touch`` tap, native on every simulator core) that attributes each
+remote touch to a producer thread via first-touch buffer ownership —
+the same rule the simulated NUMA memory system uses for homing — and
+folds the per-window accumulator into an exponentially decayed running
+estimate at every epoch boundary.
+
+Units are *touched bytes*, not the declared bytes of the static
+dependency matrix — the two are deliberately never compared directly;
+:mod:`repro.affinity.drift` normalizes both sides to unit mass and
+measures *shape* change only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AffinityError
+
+__all__ = ["WindowTelemetry"]
+
+
+class WindowTelemetry:
+    """Fold per-touch taps into a per-window comm-matrix estimate.
+
+    ``estimate[i, j]`` approximates bytes thread *i* received from
+    thread *j* (the :class:`~repro.treematch.commmatrix.
+    CommunicationMatrix` convention), decayed so old phases fade:
+    at each :meth:`fold_window`, ``estimate = decay * estimate +
+    window``. Attach by appending to ``machine.monitors`` before the
+    first window.
+    """
+
+    __slots__ = (
+        "n_threads",
+        "decay",
+        "windows",
+        "estimate",
+        "_acc",
+        "_last",
+        "_owner",
+    )
+
+    def __init__(self, n_threads: int, *, decay: float = 0.5) -> None:
+        if n_threads <= 0:
+            raise AffinityError(f"n_threads must be positive, got {n_threads}")
+        if not (0.0 <= decay <= 1.0):
+            raise AffinityError(f"decay must be in [0, 1], got {decay}")
+        self.n_threads = n_threads
+        self.decay = float(decay)
+        #: Number of windows folded so far.
+        self.windows = 0
+        #: Decayed running estimate (n x n, float64).
+        self.estimate = np.zeros((n_threads, n_threads))
+        # Per-receiver {owner: bytes} accumulators for the in-flight
+        # window. Plain dicts, not an ndarray: the tap runs once per
+        # Touch op, and a python scalar add is ~5x cheaper than a numpy
+        # element += — the matrix form is only materialized (into the
+        # preallocated _last) once per window.
+        self._acc: list[dict] = [{} for _ in range(n_threads)]
+        self._last = np.zeros((n_threads, n_threads))
+        # Buffer -> tid of its first toucher (the first-touch owner).
+        self._owner: dict = {}
+
+    # -- the machine-monitor tap (hot: called once per Touch op) ------------
+
+    def on_touch(self, thread, buffer, nbytes: int, write: bool) -> None:
+        tid = thread.tid
+        if tid >= self.n_threads:
+            return
+        owner = self._owner.get(buffer)
+        if owner is None:
+            self._owner[buffer] = tid
+        elif owner != tid and nbytes:
+            row = self._acc[tid]
+            row[owner] = row.get(owner, 0.0) + nbytes
+
+    # -- epoch boundary ------------------------------------------------------
+
+    def fold_window(self) -> float:
+        """Fold the current window into the decayed estimate.
+
+        Called by the controller at every epoch boundary. Allocation
+        free: the sparse per-window dicts are written into the
+        preallocated last-window matrix (a window touches at most a few
+        entries per thread) and cleared in place. Returns the bytes
+        observed this window.
+        """
+        est = self.estimate
+        last = self._last
+        last[:] = 0.0
+        est *= self.decay
+        total = 0.0
+        for tid, row in enumerate(self._acc):
+            if row:
+                for owner, nbytes in row.items():
+                    last[tid, owner] = nbytes
+                    total += nbytes
+                row.clear()
+        est += last
+        self.windows += 1
+        return total
+
+    def reset_to_last_window(self) -> None:
+        """Drop decayed history: ``estimate = last folded window``.
+
+        Called on remap so the post-remap estimate (and the reference
+        the new placement is judged against) reflects only the phase
+        that triggered it, not a mix of old and new phases — a mixed
+        estimate would immediately re-register as drift.
+        """
+        np.copyto(self.estimate, self._last)

@@ -102,6 +102,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--json", action="store_true",
                        help="emit the placement and costs as JSON")
 
+    p_adapt = sub.add_parser(
+        "adapt",
+        help="adaptive-remapping experiment: phase-shift vs static placements",
+    )
+    p_adapt.add_argument(
+        "app", nargs="?", default="phase-shift",
+        choices=("phase-shift", "phase-stable"),
+        help="phase-shift = stencil->transpose->reduce workload (default); "
+             "phase-stable = control program on which the controller must "
+             "stay quiet",
+    )
+    p_adapt.add_argument("--ipp", type=int, default=None,
+                         help="iterations per phase (default 24)")
+    p_adapt.add_argument("--json", action="store_true",
+                         help="emit the full report as JSON")
+
     sub.add_parser("comm-matrix", help="Fig. 1 communication matrix (ASCII)")
     sub.add_parser("allocation", help="Fig. 2 task allocation")
     sub.add_parser("dfg", help="Fig. 3 data-flow graph of the video app (DOT)")
@@ -468,6 +484,45 @@ def _cmd_trace(
     )
 
 
+def _cmd_adapt(app: str, ipp: int | None, as_json: bool) -> str:
+    """Run the adaptive-remapping experiment (docs/ADAPTIVE.md)."""
+    import json
+
+    from repro.experiments.adaptive import (
+        AdaptSetup,
+        build_runtime,
+        format_experiment,
+        run_adaptive,
+        run_experiment,
+    )
+
+    setup = AdaptSetup() if ipp is None else AdaptSetup(iters_per_phase=ipp)
+    if app == "phase-stable":
+        stable = AdaptSetup(iters_per_phase=setup.iters_per_phase, shift=False)
+        baseline = build_runtime("stencil", stable).run()
+        run = run_adaptive(stable)
+        payload = {
+            "app": app,
+            "uncontrolled_seconds": baseline.seconds,
+            "adaptive_seconds": run["seconds"],
+            "remaps": run["remaps"],
+            "windows": run["windows"],
+        }
+        if as_json:
+            return json.dumps(payload, indent=1)
+        return (
+            f"phase-stable control ({run['windows']} windows): "
+            f"{len(run['remaps'])} remap(s); adaptive "
+            f"{run['seconds'] * 1e3:.3f} ms vs uncontrolled "
+            f"{baseline.seconds * 1e3:.3f} ms"
+        )
+    report = run_experiment(setup)
+    if as_json:
+        report = dict(report)
+        return json.dumps(report, indent=1)
+    return format_experiment(report)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     code = 0
@@ -490,6 +545,8 @@ def main(argv: list[str] | None = None) -> int:
                            args.strategy, args.jobs)
         elif args.command == "dfg":
             out = _cmd_dfg()
+        elif args.command == "adapt":
+            out = _cmd_adapt(args.app, args.ipp, args.json)
         elif args.command == "lint":
             out, code = _cmd_lint(args.app, args.all, args.json, args.dynamic,
                                   args.hb, args.sanitize, args.hotlint,

@@ -50,3 +50,7 @@ class ScheduleError(ORWLError):
 
 class OpenMPError(ReproError):
     """Misuse of the OpenMP-like fork/join runtime model."""
+
+
+class AffinityError(ReproError):
+    """Misuse or misconfiguration of the adaptive remapping controller."""

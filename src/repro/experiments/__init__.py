@@ -9,10 +9,23 @@
   (``REPRO_SCALE=quick|paper``) and shared run plumbing;
 * :mod:`repro.experiments.report` — plain-text rendering of results.
 
+* :mod:`repro.experiments.adaptive` — the phase-shift experiment for
+  the online adaptive remapping controller (``repro-paper adapt``).
+
 Benchmarks under ``benchmarks/`` call these and assert the paper's
 qualitative shapes; EXPERIMENTS.md records paper-vs-measured numbers.
 """
 
+from repro.experiments.adaptive import (
+    AdaptSetup,
+    adapt_config,
+    build_runtime,
+    format_experiment,
+    run_adaptive,
+    run_experiment,
+    run_static,
+    run_windowed,
+)
 from repro.experiments.figures import (
     fig1_comm_matrix,
     fig2_allocation,
@@ -30,6 +43,14 @@ from repro.experiments.tables import (
 )
 
 __all__ = [
+    "AdaptSetup",
+    "adapt_config",
+    "build_runtime",
+    "format_experiment",
+    "run_adaptive",
+    "run_experiment",
+    "run_static",
+    "run_windowed",
     "Scale",
     "TINY",
     "QUICK",

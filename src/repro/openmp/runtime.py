@@ -149,8 +149,16 @@ class OpenMPRuntime:
 
     # -- execution -----------------------------------------------------------------
 
-    def run(self, master_body: Callable[["OpenMPRuntime"], Iterator]) -> OMPResult:
-        """Spawn the team, run *master_body(self)* to completion."""
+    def prepare_run(
+        self, master_body: Callable[["OpenMPRuntime"], Iterator]
+    ) -> list:
+        """Spawn and bind the team without starting the simulator.
+
+        The head half of :meth:`run`, split out so windowed drivers (the
+        adaptive controller of :mod:`repro.affinity`) can own the run
+        loop and finish via :meth:`_build_result`. Returns the team's
+        :class:`SimThread` objects, master first.
+        """
         if self._ran:
             raise OpenMPError("run() may only be called once")
         self._ran = True
@@ -171,7 +179,10 @@ class OpenMPRuntime:
         if self._binding_map is not None:
             for wid, pu in self._binding_map.items():
                 self.machine.bind_thread(threads[wid], Bitmap.single(pu))
-        seconds = self.machine.run()
+        return threads
+
+    def _build_result(self, seconds: float) -> OMPResult:
+        """Package the post-run state; the tail half of :meth:`run`."""
         return OMPResult(
             seconds=seconds,
             counters=self.machine.total_counters(),
@@ -179,6 +190,12 @@ class OpenMPRuntime:
             binding=self.binding,
             machine=self.machine,
         )
+
+    def run(self, master_body: Callable[["OpenMPRuntime"], Iterator]) -> OMPResult:
+        """Spawn the team, run *master_body(self)* to completion."""
+        self.prepare_run(master_body)
+        seconds = self.machine.run()
+        return self._build_result(seconds)
 
     def _worker(self, wid: int):
         while True:

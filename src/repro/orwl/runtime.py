@@ -251,13 +251,13 @@ class Runtime:
 
     # -- run ----------------------------------------------------------------------------------
 
-    def run(
-        self,
-        *,
-        max_cycles: float | None = None,
-        max_events: int | None = None,
-    ) -> RunResult:
-        """Execute the program; returns a :class:`RunResult`."""
+    def prepare_run(self) -> None:
+        """Everything :meth:`run` does before starting the simulator:
+        schedule, spawn compute/control threads, and apply the initial
+        affinity pipeline. Split out so windowed drivers (the adaptive
+        controller of :mod:`repro.affinity`) can own the run loop and
+        finish via :meth:`_build_result`.
+        """
         if self._running:
             raise ORWLError("run() may only be called once")
         self._running = True
@@ -277,13 +277,8 @@ class Runtime:
             self.affinity.affinity_compute()
             self.affinity.affinity_set()
 
-        run_kwargs = {}
-        if max_cycles is not None:
-            run_kwargs["max_cycles"] = max_cycles
-        if max_events is not None:
-            run_kwargs["max_events"] = max_events
-        seconds = self.machine.run(**run_kwargs)
-
+    def _build_result(self, seconds: float) -> RunResult:
+        """Package the post-run state; the tail half of :meth:`run`."""
         self._result = RunResult(
             seconds=seconds,
             counters=self.machine.total_counters(),
@@ -294,3 +289,20 @@ class Runtime:
             machine=self.machine,
         )
         return self._result
+
+    def run(
+        self,
+        *,
+        max_cycles: float | None = None,
+        max_events: int | None = None,
+    ) -> RunResult:
+        """Execute the program; returns a :class:`RunResult`."""
+        self.prepare_run()
+
+        run_kwargs = {}
+        if max_cycles is not None:
+            run_kwargs["max_cycles"] = max_cycles
+        if max_events is not None:
+            run_kwargs["max_events"] = max_events
+        seconds = self.machine.run(**run_kwargs)
+        return self._build_result(seconds)

@@ -232,6 +232,12 @@ class SimMachine:
         #: affinity changes made from running generator code are seen by
         #: the vectorized eligibility masks.
         self._soa_bound = None
+        #: Virtual time (cycles) at which the event queue last made
+        #: progress. run_window() quantizes ``engine.now`` up to the
+        #: epoch horizon even when the queue drained early, so windowed
+        #: drivers (repro.sim.shard, repro.affinity) read the honest
+        #: program end time here; run() sets it to the final clock.
+        self.window_drained_at = 0.0
         self._ran = False
 
     # -- construction API ---------------------------------------------------
@@ -284,6 +290,23 @@ class SimMachine:
         bound = self._soa_bound
         if bound is not None and thread.tid < len(bound):
             bound[thread.tid] = 0 if cpuset is None else 1
+
+    def attach_sanitizer(self):
+        """Attach the invariant sanitizer's live taps (idempotent).
+
+        :meth:`run` calls this automatically when ``sanitize`` is set;
+        windowed drivers (the adaptive controller of
+        :mod:`repro.affinity`) call it before the first window so the
+        occupancy/clock taps observe every epoch, then ``verify()`` at
+        the end themselves. Lazy import — the analyze package is never
+        paid for on normal runs. Returns the sanitizer.
+        """
+        if self.sanitizer is None:
+            from repro.analyze.invariants import SimSanitizer
+
+            self.sanitizer = SimSanitizer(self)
+            self.sanitizer.attach()
+        return self.sanitizer
 
     def attach_observer(self, observer: SimObserver) -> SimObserver:
         """Attach a metrics/trace observer before :meth:`run`.
@@ -377,12 +400,8 @@ class SimMachine:
         if self.sanitize:
             # Checked mode: the sanitizer rides the native monitor and
             # on_place taps (both cores), then verifies end-state
-            # invariants below. Lazy import — the analyze package is
-            # never paid for on normal runs.
-            from repro.analyze.invariants import SimSanitizer
-
-            self.sanitizer = SimSanitizer(self)
-            self.sanitizer.attach()
+            # invariants below.
+            self.attach_sanitizer()
         if max_events is None:
             max_events = self.limits.max_events
         use = self._select_core()
@@ -423,6 +442,7 @@ class SimMachine:
             )
         if self.sanitizer is not None and not leftover:
             self.sanitizer.verify(self)
+        self.window_drained_at = self.engine.now
         return self.elapsed_seconds
 
     def run_window(
@@ -461,6 +481,7 @@ class SimMachine:
             observer = self.observer
             if observer is not None:
                 observer.begin(self)
+        ev0 = self.engine.events_processed
         if use == "soa":
             run_soa(self, max_cycles=until, max_events=max_events, jit=jit)
         elif use == "batched":
@@ -472,6 +493,11 @@ class SimMachine:
                         self._make_ready(thread)
                 self._dispatch()
             self.engine.run(max_cycles=until, max_events=max_events)
+        # Record the honest drain point before the horizon clamp below —
+        # only when this window actually processed events, so idle
+        # windows don't push the mark out to their horizon.
+        if self.engine.events_processed > ev0:
+            self.window_drained_at = self.engine.now
         # The clock of a windowed run advances to the horizon even when
         # the queue drains early — the shard protocol equates "machine
         # time" with the epoch boundary, and a later window may receive
@@ -515,6 +541,9 @@ class SimMachine:
         mig_cycles = model.migration_cycles
         cache_line = model.cache_line
         node_bw = model.node_bandwidth_cyc_per_byte
+        # One plain-float horizon (+inf when unbounded) keeps the
+        # per-bucket stop check to a single comparison.
+        horizon = float("inf") if max_cycles is None else max_cycles
         caches = self.caches
         line = caches._line
         l3_hit_cy = caches._l3_hit_cycles
@@ -556,8 +585,9 @@ class SimMachine:
         # tapped path and costs <1% on the untapped one. Ring/trace
         # records keep their guards: a call per transition is worth
         # skipping.
-        monitors = self.monitors
-        notify_monitors = self._notify_monitors
+        notify_touch = self._monitor_fns("on_touch")
+        notify_block = self._monitor_fns("on_block")
+        notify_finish = self._monitor_fns("on_finish")
         trace_tap = self.trace
         trace_rec = trace_tap.record if trace_tap is not None else None
         on_place = sched.on_place or None
@@ -731,8 +761,9 @@ class SimMachine:
 
         def finish(thread, crashed=False):
             thread.state = "done"
-            if monitors:
-                notify_monitors("on_finish", thread)
+            if notify_finish:
+                for fn in notify_finish:
+                    fn(thread)
             if trace_rec is not None:
                 trace_rec(now, thread.tid, "crash" if crashed else "done", "")
             if ring_add is not None:
@@ -905,7 +936,7 @@ class SimMachine:
                     if not wheap_l:
                         break
                     w0 = wheap_l[0]
-                    if max_cycles is not None and w0 > max_cycles:
+                    if w0 > horizon:
                         break
                     if processed >= budget:
                         eng._events_processed = processed
@@ -1145,12 +1176,11 @@ class SimMachine:
                         nbytes = op.nbytes
                         if nbytes is None:
                             nbytes = buf.size
-                        if monitors:
+                        if notify_touch:
                             # Same observation point as _step: the request
                             # size before clamping, priced right after.
-                            notify_monitors(
-                                "on_touch", thread, buf, nbytes, op.write
-                            )
+                            for fn in notify_touch:
+                                fn(thread, buf, nbytes, op.write)
                         pu = thread.pu
                         if nbytes <= 0:
                             if buf.home_numa is None:
@@ -1386,8 +1416,9 @@ class SimMachine:
                         thread.state = "blocked"
                         thread.waiting_on = event
                         event.waiters.append(thread)
-                        if monitors:
-                            notify_monitors("on_block", thread, event)
+                        if notify_block:
+                            for fn in notify_block:
+                                fn(thread, event)
                         if trace_rec is not None:
                             trace_rec(now, thread.tid, "block", event.name)
                         if ring_add is not None:
@@ -1499,6 +1530,18 @@ class SimMachine:
             fn = getattr(monitor, method, None)
             if fn is not None:
                 fn(*args)
+
+    def _monitor_fns(self, method: str) -> list:
+        """Bound listeners for one monitor hook.
+
+        The drain loops capture one list per hook at setup (rebuilt on
+        every ``run``/``run_window`` call, so attaching between windows
+        works), turning a hook nobody implements into a single falsy
+        branch per event instead of a getattr sweep over every monitor
+        — that sweep was the bulk of the tapped-run overhead.
+        """
+        return [fn for m in self.monitors
+                if (fn := getattr(m, method, None)) is not None]
 
     def _on_signal(self, event: SimEvent) -> None:
         # Called synchronously from app code; defer wakeups to the engine

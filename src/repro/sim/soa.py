@@ -177,8 +177,9 @@ def run_soa(machine, *, max_cycles, max_events, jit=False):
     # arrays unconditionally (throwaway storage when untapped), ring and
     # trace records keep their guards, and no tap can perturb pricing,
     # rng order or event order.
-    monitors = machine.monitors
-    notify_monitors = machine._notify_monitors
+    notify_touch = machine._monitor_fns("on_touch")
+    notify_block = machine._monitor_fns("on_block")
+    notify_finish = machine._monitor_fns("on_finish")
     trace_tap = machine.trace
     trace_rec = trace_tap.record if trace_tap is not None else None
     on_place = sched.on_place or None
@@ -403,8 +404,9 @@ def run_soa(machine, *, max_cycles, max_events, jit=False):
 
     def finish(thread, crashed=False):
         thread.state = "done"
-        if monitors:
-            notify_monitors("on_finish", thread)
+        if notify_finish:
+            for fn in notify_finish:
+                fn(thread)
         if trace_rec is not None:
             trace_rec(now, thread.tid, "crash" if crashed else "done", "")
         if ring_add is not None:
@@ -793,7 +795,7 @@ def run_soa(machine, *, max_cycles, max_events, jit=False):
                 if not wheap_l:
                     break
                 w0 = wheap_l[0]
-                if max_cycles is not None and w0 > max_cycles:
+                if w0 > horizon:
                     break
                 if processed >= budget:
                     eng._events_processed = processed
@@ -976,12 +978,11 @@ def run_soa(machine, *, max_cycles, max_events, jit=False):
                     nbytes = op.nbytes
                     if nbytes is None:
                         nbytes = buf.size
-                    if monitors:
+                    if notify_touch:
                         # Same observation point as _step: the request
                         # size before clamping, priced right after.
-                        notify_monitors(
-                            "on_touch", thread, buf, nbytes, op.write
-                        )
+                        for fn in notify_touch:
+                            fn(thread, buf, nbytes, op.write)
                     pu = thread.pu
                     if nbytes <= 0:
                         if buf.home_numa is None:
@@ -1228,8 +1229,9 @@ def run_soa(machine, *, max_cycles, max_events, jit=False):
                     thread.state = "blocked"
                     thread.waiting_on = event
                     event.waiters.append(thread)
-                    if monitors:
-                        notify_monitors("on_block", thread, event)
+                    if notify_block:
+                        for fn in notify_block:
+                            fn(thread, event)
                     if trace_rec is not None:
                         trace_rec(now, thread.tid, "block", event.name)
                     if ring_add is not None:

@@ -99,6 +99,7 @@ def group_processes(
     *,
     force: str | None = None,
     refine: bool = True,
+    stats: dict | None = None,
 ) -> list[list[int]]:
     """Partition the ``order(m)`` processes into groups of size *arity*.
 
@@ -106,7 +107,8 @@ def group_processes(
     exhaustive engine is used whenever :func:`partition_count` stays under
     ``OPTIMAL_SEARCH_LIMIT``. Groups and their members are returned in a
     canonical order (each group led by its smallest member, groups sorted
-    by leader) so results are deterministic.
+    by leader) so results are deterministic. *stats* is forwarded to
+    :func:`refine_groups` when the refinement pass runs.
     """
     a = check_square(m, name="affinity matrix")
     p = a.shape[0]
@@ -124,14 +126,14 @@ def group_processes(
     elif force == "greedy":
         groups = group_greedy(a, arity)
         if refine:
-            groups = refine_groups(a, groups)
+            groups = refine_groups(a, groups, stats=stats)
     elif force is None:
         if not partition_count_exceeds(p, arity, OPTIMAL_SEARCH_LIMIT):
             groups = group_optimal(a, arity)
         else:
             groups = group_greedy(a, arity)
             if refine:
-                groups = refine_groups(a, groups)
+                groups = refine_groups(a, groups, stats=stats)
     else:
         raise MappingError(f"unknown grouping engine {force!r}")
     return _canonical(groups)
@@ -282,7 +284,11 @@ _REFINE_BLOCK = 512
 
 
 def refine_groups(
-    m: np.ndarray, groups: list[list[int]], *, max_rounds: int = 4
+    m: np.ndarray,
+    groups: list[list[int]],
+    *,
+    max_rounds: int = 4,
+    stats: dict | None = None,
 ) -> list[list[int]]:
     """Pairwise-swap local search: exchange elements between groups while
     any swap increases total intra-group weight.
@@ -299,6 +305,11 @@ def refine_groups(
 
     Only the listed members move; elements of *m* outside *groups* are
     untouched (the search then runs on the member submatrix).
+
+    *stats*, when given, accumulates ``"sweeps"`` (gain-evaluation
+    rounds run, including the final no-improvement one) and ``"swaps"``
+    (exchanges applied) across calls — how warm-start convergence is
+    counted rather than timed.
     """
     groups = [list(g) for g in groups]
     k = len(groups)
@@ -328,7 +339,10 @@ def refine_groups(
     attraction = sub @ indicator
 
     rows = np.arange(n)
+    sweeps = 0
+    swaps = 0
     for _ in range(max(8 * max_rounds, 16)):
+        sweeps += 1
         own = attraction[rows, asg]
         delta = attraction - own[:, None]
         best_gain = np.full(n, -np.inf)
@@ -370,9 +384,14 @@ def refine_groups(
             attraction[:, gj] += sub[:, i] - sub[:, j]
             asg[i], asg[j] = gj, gi
             touched[i] = touched[j] = True
+            swaps += 1
             improved = True
         if not improved:
             break
+
+    if stats is not None:
+        stats["sweeps"] = stats.get("sweeps", 0) + sweeps
+        stats["swaps"] = stats.get("swaps", 0) + swaps
 
     out: list[list[int]] = []
     for gi in range(k):

@@ -17,7 +17,7 @@ from repro.topology.tree import Topology
 from repro.treematch.aggregate import aggregate_comm_matrix
 from repro.treematch.commmatrix import CommunicationMatrix
 from repro.treematch.control import ControlPlan, extend_for_control_threads
-from repro.treematch.grouping import group_processes
+from repro.treematch.grouping import _canonical, group_processes, refine_groups
 from repro.treematch.maporder import child_distance_matrix, order_top_groups
 from repro.treematch.oversub import manage_oversubscription
 
@@ -327,6 +327,8 @@ def treematch_map(
     engine: str | None = None,
     refine: bool = True,
     distance_aware: bool = True,
+    warm_start: Placement | None = None,
+    refine_stats: dict | None = None,
 ) -> Placement:
     """Compute the topology-aware placement of *comm*'s threads (Algorithm 1).
 
@@ -344,7 +346,20 @@ def treematch_map(
     * ``distance_aware`` — order the final groups onto the root's
       children by interconnect distance (see
       :mod:`repro.treematch.maporder`) instead of arbitrarily.
+    * ``warm_start`` — a prior :class:`Placement` of the *same* problem
+      shape (same topology, same extended thread count): each level's
+      grouping is seeded from the prior run's groups and only *refined*
+      (pairwise-swap local search) instead of grouped from scratch.
+      Seeded with a placement that is already locally optimal for
+      *comm* — e.g. its own cold-start output — the result is
+      bit-identical to the cold start. ``refine_stats`` (a dict)
+      accumulates the ``"sweeps"``/``"swaps"`` counters of every
+      :func:`refine_groups` call, which is how warm-start convergence
+      is counted. Raises :class:`MappingError` when the warm placement
+      is structurally incompatible.
     """
+    if warm_start is not None:
+        _check_warm_start(topology, warm_start)
     p = comm.order
     if p == 0:
         raise MappingError("empty communication matrix")
@@ -384,6 +399,13 @@ def treematch_map(
     clusters: list[list[int]] = [[i] for i in range(lv)]
     groups_per_level: list[list[list[int]]] = []
     arity_list = list(reversed(plan.arities))
+    if warm_start is not None and len(warm_start.groups_per_level) != len(
+        arity_list
+    ):
+        raise MappingError(
+            f"warm-start placement has {len(warm_start.groups_per_level)} "
+            f"grouping levels; this problem has {len(arity_list)}"
+        )
     for li, a in enumerate(arity_list):
         at_root = li == len(arity_list) - 1
         if (
@@ -401,8 +423,17 @@ def treematch_map(
                 [[i] for i in range(a)], m_cur, dist
             )
             groups = [[g[0] for g in ordered]]
+        elif warm_start is not None:
+            seed = _warm_level_seed(
+                warm_start.groups_per_level[li], li, a, len(clusters)
+            )
+            groups = _canonical(
+                refine_groups(m_cur, seed, stats=refine_stats)
+            )
         else:
-            groups = group_processes(m_cur, a, force=engine, refine=refine)
+            groups = group_processes(
+                m_cur, a, force=engine, refine=refine, stats=refine_stats
+            )
         clusters = [
             [tid for ci in g for tid in clusters[ci]] for g in groups
         ]
@@ -442,6 +473,41 @@ def treematch_map(
             tuple(tuple(g) for g in level) for level in groups_per_level
         ),
     )
+
+
+def _check_warm_start(topology: Topology, warm: Placement) -> None:
+    """Structural compatibility of a warm-start seed placement."""
+    if warm.topology_name and warm.topology_name != topology.name:
+        raise MappingError(
+            f"warm-start placement was computed for {warm.topology_name!r}, "
+            f"not {topology.name!r}"
+        )
+    if not warm.groups_per_level:
+        raise MappingError(
+            "warm-start placement records no per-level groups (multilevel "
+            "placements cannot seed the direct pipeline)"
+        )
+
+
+def _warm_level_seed(
+    level: tuple[tuple[int, ...], ...], li: int, arity: int, count: int
+) -> list[list[int]]:
+    """Validate one warm-start level as a partition of ``range(count)``
+    into ``count // arity`` groups of size *arity*; returns it as lists.
+    """
+    seed = [list(g) for g in level]
+    if len(seed) * arity != count or any(len(g) != arity for g in seed):
+        raise MappingError(
+            f"warm-start level {li}: expected {count // arity} groups of "
+            f"size {arity}, got sizes {[len(g) for g in seed]}"
+        )
+    seen = sorted(i for g in seed for i in g)
+    if seen != list(range(count)):
+        raise MappingError(
+            f"warm-start level {li}: groups do not partition "
+            f"range({count})"
+        )
+    return seed
 
 
 def _leaf_view(

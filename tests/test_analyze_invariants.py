@@ -79,6 +79,58 @@ class TestCrossCoreAgreement:
         assert fingerprint(machine)["sanitizer_checks"] > 0
 
 
+class TestRemapEpochBoundary:
+    """Occupancy/clock invariants must hold straight through a live
+    rebind between ``run_window`` epochs — the adaptive controller's
+    remap path."""
+
+    @staticmethod
+    def _windowed_remap(core: str) -> SimMachine:
+        from repro.sim import YieldCPU
+
+        machine = SimMachine(smp12e5(), core=core, sanitize=True)
+        buf = machine.allocate(1 << 16, "b")
+
+        def body():
+            for _ in range(20):
+                yield Compute(1e5)
+                yield Touch(buf, 4096, write=True)
+                yield YieldCPU()
+
+        for i in range(4):
+            machine.add_thread(f"t{i}", body(), cpuset=Bitmap.single(2 * i))
+        machine.attach_sanitizer()
+        machine.run_window(3e5)
+        # The remap epoch boundary: migrate two threads while the
+        # sanitizer's occupancy tap is live.
+        machine.bind_thread(machine.threads[0], Bitmap.single(1))
+        machine.bind_thread(machine.threads[1], Bitmap.single(3))
+        horizon = 6e5
+        for _ in range(30):
+            machine.run_window(horizon)
+            if all(t.state == "done" for t in machine.threads):
+                break
+            horizon += 3e5
+        machine.sanitizer.verify(machine)
+        return machine
+
+    @pytest.mark.parametrize("core", ["object", "batched", "soa"])
+    def test_occupancy_holds_across_rebind(self, core):
+        machine = self._windowed_remap(core)
+        assert all(t.state == "done" for t in machine.threads)
+        assert machine.sanitizer.checks > 0
+        assert machine.sanitizer.violations == []
+
+    def test_checked_remap_matches_between_cores(self):
+        fps = []
+        for core in ("batched", "object", "soa"):
+            fp = fingerprint(self._windowed_remap(core))
+            fp.pop("core_used")
+            fp.pop("elapsed_cycles")  # windowed clock sits on the horizon
+            fps.append(fp)
+        assert fps[0] == fps[1] == fps[2]
+
+
 class TestViolationDetection:
     def test_negative_touch_bytes_fires(self):
         machine = tiny_run(sanitize=True)

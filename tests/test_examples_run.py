@@ -27,3 +27,18 @@ def test_examples_exist():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "stencil_scaling", "video_tracking",
             "custom_machine", "dynamic_remapping"} <= names
+
+
+def test_dynamic_remapping_exercises_warm_start():
+    script = Path(__file__).parent.parent / "examples" / "dynamic_remapping.py"
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    # The example must actually travel the warm-started TreeMatch path,
+    # not just run the controller on a drift-free program.
+    assert "warm-started" in proc.stdout
+    assert "remap @ window" in proc.stdout

@@ -207,6 +207,87 @@ class TestRunWindow:
             strip_windowing(obs_one.snapshot())
 
 
+class TestBetweenWindowRebind:
+    """The adaptive controller's live-rebind path: ``bind_thread``
+    between ``run_window`` epochs, with no generator involvement."""
+
+    @staticmethod
+    def _long_machine(core: str) -> SimMachine:
+        m = SimMachine(smp12e5(), core=core)
+
+        def worker(i):
+            # The yield forces a real redispatch per chunk: the serial
+            # run-ahead paths would otherwise commit a thread's whole
+            # future at window 0, leaving a later rebind nothing to move.
+            for _ in range(24):
+                yield Compute(3e7)
+                yield YieldCPU()
+
+        for i in range(4):
+            m.add_thread(f"w{i}", worker(i), cpuset=Bitmap.single(2 * i))
+        return m
+
+    @staticmethod
+    def _drain(m: SimMachine, rebind_to: Bitmap | None) -> SimMachine:
+        m.run_window(1.5e8)
+        if rebind_to is not None:
+            # The SoA bound column only lives inside run_soa — between
+            # epochs the rebind goes through thread.cpuset and must be
+            # picked up when the next window rebuilds its columns.
+            assert m._soa_bound is None
+            m.bind_thread(m.threads[1], rebind_to)
+            assert m.threads[1].cpuset == rebind_to
+        horizon = 3e8
+        for _ in range(10):
+            m.run_window(horizon)
+            horizon += 1.5e8
+        m.run_window(1e13)
+        assert {t.state for t in m.threads} == {"done"}
+        return m
+
+    def test_rebind_onto_occupied_pu_contends(self):
+        # Moving w1 (PU 2) onto w2's PU 4 forces the two to timeshare:
+        # the drain point must move out vs the undisturbed run — proof
+        # the new binding is enforced, not just recorded.
+        free = self._drain(self._long_machine("soa"), None)
+        packed = self._drain(self._long_machine("soa"), Bitmap.single(4))
+        assert packed.window_drained_at > free.window_drained_at
+        assert packed.threads[1].cpuset == Bitmap.single(4)
+
+    def test_rebind_agrees_across_cores(self):
+        prints = []
+        for core in ("object", "batched", "soa"):
+            m = self._drain(self._long_machine(core), Bitmap.single(4))
+            prints.append(fingerprint(m)[1:])  # clock sits on the horizon
+        assert prints[0] == prints[1] == prints[2]
+
+    def test_unbind_between_windows_frees_thread(self):
+        bound = self._drain(self._long_machine("soa"), None)
+
+        def loose_run(core):
+            loose = self._long_machine(core)
+            loose.run_window(1.5e8)
+            loose.bind_thread(loose.threads[1], None)
+            assert loose.threads[1].cpuset is None
+            horizon = 3e8
+            for _ in range(10):
+                loose.run_window(horizon)
+                horizon += 1.5e8
+            loose.run_window(1e13)
+            assert {t.state for t in loose.threads} == {"done"}
+            return loose
+
+        # The freed thread falls back to the seeded OS-scheduler policy
+        # (migration costs included), so its schedule — and hence the
+        # drain point — must diverge from the pinned run: unbinding is
+        # enforced, not just recorded. And it stays deterministic and
+        # core-independent.
+        prints = [fingerprint(loose_run(c))[1:]
+                  for c in ("object", "batched", "soa")]
+        assert prints[0] == prints[1] == prints[2]
+        assert prints[-1] != fingerprint(bound)[1:]
+
+
 class TestLimitsValidation:
     def test_vec_min_validated(self):
         with pytest.raises(SimulationError):

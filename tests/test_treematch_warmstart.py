@@ -1,0 +1,120 @@
+"""Warm-started TreeMatch: the contract the adaptive controller relies on.
+
+The controller re-runs ``treematch_map`` seeded with the *current*
+placement whenever drift trips. That is only sound if:
+
+* a warm start seeded with a placement's own groups is a fixed point —
+  bit-identical output, never a worse cost (the controller's no-op
+  remap cannot degrade a running program);
+* a warm start from a *perturbed* placement converges in fewer refine
+  rounds than grouping from scratch (counted via ``refine_stats``, not
+  timed — determinism over wall clock);
+* structurally incompatible seeds are rejected loudly instead of
+  producing a silently wrong placement.
+
+Instances come from the multilevel quality gallery
+(:data:`tests.test_treematch_multilevel.GALLERY`): 21 deterministic
+stencil/clustered/ring matrices mapped onto SMP20E7.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import MappingError
+from repro.topology import machine_by_name
+from repro.treematch import treematch_map
+from tests.test_treematch_multilevel import GALLERY, pattern_matrix
+
+pytestmark = pytest.mark.adaptive
+
+
+def _perturb(placement):
+    """Swap the first members of the first two level-0 groups.
+
+    The smallest structurally valid disturbance: still a partition with
+    the right group sizes, but no longer locally optimal.
+    """
+    level0 = [list(g) for g in placement.groups_per_level[0]]
+    level0[0][0], level0[1][0] = level0[1][0], level0[0][0]
+    new_levels = (tuple(tuple(g) for g in level0),) + \
+        placement.groups_per_level[1:]
+    return dataclasses.replace(placement, groups_per_level=new_levels)
+
+
+class TestFixedPoint:
+    @pytest.mark.parametrize("pattern,n,seed", GALLERY)
+    def test_own_output_is_bit_identical_and_never_worse(
+        self, pattern, n, seed
+    ):
+        topo = machine_by_name("SMP20E7")
+        comm = pattern_matrix(pattern, n, seed)
+        cold = treematch_map(topo, comm, engine="greedy")
+        warm = treematch_map(topo, comm, engine="greedy", warm_start=cold)
+        assert warm == cold  # bit-identical placement, groups included
+        assert warm.cost(topo, comm) <= cold.cost(topo, comm)
+
+
+class TestPerturbedConvergence:
+    def test_fewer_refine_rounds_than_cold_on_gallery_aggregate(self):
+        # Per-instance sweep counts can tie on easy matrices; the
+        # aggregate over all 21 instances must strictly favour the warm
+        # start, and no instance may converge to a worse placement.
+        topo = machine_by_name("SMP20E7")
+        cold_sweeps = warm_sweeps = 0
+        for pattern, n, seed in GALLERY:
+            comm = pattern_matrix(pattern, n, seed)
+            cold_stats: dict = {}
+            cold = treematch_map(
+                topo, comm, engine="greedy", refine_stats=cold_stats
+            )
+            warm_stats: dict = {}
+            warm = treematch_map(
+                topo, comm, engine="greedy",
+                warm_start=_perturb(cold), refine_stats=warm_stats,
+            )
+            cold_sweeps += cold_stats["sweeps"]
+            warm_sweeps += warm_stats["sweeps"]
+            assert warm.cost(topo, comm) <= cold.cost(topo, comm) * (1 + 1e-9)
+        assert warm_sweeps < cold_sweeps
+
+
+class TestSeedValidation:
+    def _cold(self):
+        topo = machine_by_name("SMP20E7")
+        comm = pattern_matrix("stencil", 640, 0)
+        return topo, comm, treematch_map(topo, comm, engine="greedy")
+
+    def test_topology_mismatch_rejected(self):
+        topo, comm, cold = self._cold()
+        alien = dataclasses.replace(cold, topology_name="SMP24E5")
+        with pytest.raises(MappingError, match="was computed for"):
+            treematch_map(topo, comm, warm_start=alien)
+
+    def test_groupless_placement_rejected(self):
+        # Multilevel placements record no per-level groups and cannot
+        # seed the direct pipeline.
+        topo, comm, cold = self._cold()
+        bare = dataclasses.replace(cold, groups_per_level=())
+        with pytest.raises(MappingError, match="records no per-level"):
+            treematch_map(topo, comm, warm_start=bare)
+
+    def test_level_count_mismatch_rejected(self):
+        topo, comm, cold = self._cold()
+        short = dataclasses.replace(
+            cold, groups_per_level=cold.groups_per_level[:-1]
+        )
+        with pytest.raises(MappingError, match="grouping levels"):
+            treematch_map(topo, comm, warm_start=short)
+
+    def test_non_partition_level_rejected(self):
+        topo, comm, cold = self._cold()
+        level0 = [list(g) for g in cold.groups_per_level[0]]
+        level0[0][0] = level0[1][0]  # duplicate a member
+        broken = dataclasses.replace(
+            cold,
+            groups_per_level=(tuple(tuple(g) for g in level0),)
+            + cold.groups_per_level[1:],
+        )
+        with pytest.raises(MappingError, match="partition"):
+            treematch_map(topo, comm, warm_start=broken)
